@@ -1,0 +1,149 @@
+// Package m2mjoin's top-level benchmarks regenerate every figure of
+// the paper's evaluation through the testing.B harness — one benchmark
+// per figure — plus micro-benchmarks for the execution strategies on
+// the paper's query shapes. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks run at Quick scale per iteration; use
+// cmd/m2mbench -scale full for the paper-sized runs.
+package m2mjoin
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/experiments"
+	"m2mjoin/internal/opt"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+func benchFigure(b *testing.B, run func(experiments.Scale, int64) *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl := run(experiments.Quick, int64(i+1))
+		tbl.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig4Sampling regenerates Fig. 4 (Q-error of sampling-based
+// match probability / fanout estimation).
+func BenchmarkFig4Sampling(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig6Robustness regenerates Fig. 6 (cost-model robustness to
+// estimation errors).
+func BenchmarkFig6Robustness(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkFig10Heuristics regenerates Fig. 10 (join-order heuristics
+// vs the exhaustive optimum).
+func BenchmarkFig10Heuristics(b *testing.B) { benchFigure(b, experiments.Fig10) }
+
+// BenchmarkFig11Synthetic regenerates Fig. 11 (synthetic benchmark,
+// six strategies across four query shapes).
+func BenchmarkFig11Synthetic(b *testing.B) { benchFigure(b, experiments.Fig11) }
+
+// BenchmarkFig12CE regenerates Fig. 12 (simulated CE benchmark).
+func BenchmarkFig12CE(b *testing.B) { benchFigure(b, experiments.Fig12) }
+
+// BenchmarkFig13Simulation regenerates Fig. 13 (analytic cost
+// simulation across match probabilities).
+func BenchmarkFig13Simulation(b *testing.B) { benchFigure(b, experiments.Fig13) }
+
+// BenchmarkFig14Validation regenerates Fig. 14 (predicted vs actual
+// execution cost).
+func BenchmarkFig14Validation(b *testing.B) { benchFigure(b, experiments.Fig14) }
+
+// BenchmarkFig15FanoutSkew regenerates Fig. 15 (constant-fanout
+// assumption under skewed per-tuple fanouts).
+func BenchmarkFig15FanoutSkew(b *testing.B) { benchFigure(b, experiments.Fig15) }
+
+// BenchmarkFig16RobustExec regenerates Fig. 16 (execution robustness
+// across random join orders).
+func BenchmarkFig16RobustExec(b *testing.B) { benchFigure(b, experiments.Fig16) }
+
+// --- strategy micro-benchmarks -------------------------------------
+//
+// One benchmark per execution strategy on each of the paper's query
+// shapes, at a fixed mid-range parameterization (m in [0.2,0.6],
+// fo in [1,4], 5k driver rows). These isolate the per-strategy
+// execution cost that the figure harnesses aggregate.
+
+type benchShape struct {
+	name  string
+	build func(src plan.StatsSource) *plan.Tree
+}
+
+var benchShapes = []benchShape{
+	{"Star7", func(src plan.StatsSource) *plan.Tree { return plan.Star(6, src) }},
+	{"Path7", func(src plan.StatsSource) *plan.Tree { return plan.CenteredPath(7, src) }},
+	{"Snowflake32", func(src plan.StatsSource) *plan.Tree { return plan.Snowflake(3, 2, src) }},
+	{"Snowflake51", func(src plan.StatsSource) *plan.Tree { return plan.Snowflake(5, 1, src) }},
+}
+
+func BenchmarkStrategies(b *testing.B) {
+	for _, sh := range benchShapes {
+		rng := rand.New(rand.NewSource(123))
+		tr := sh.build(plan.UniformStats(rng, 0.2, 0.6, 1, 4))
+		ds := workload.Generate(tr, workload.Config{DriverRows: 5000, Seed: 99})
+		model := cost.New(workload.MeasuredTree(ds), cost.DefaultWeights())
+		order := opt.Optimize(model, cost.COM, opt.GreedySurvival).Order
+		for _, s := range cost.AllStrategies {
+			b.Run(fmt.Sprintf("%s/%s", sh.name, s), func(b *testing.B) {
+				var probes int64
+				for i := 0; i < b.N; i++ {
+					stats, err := exec.Run(ds, exec.Options{
+						Strategy: s, Order: order, FlatOutput: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					probes = stats.HashProbes
+				}
+				b.ReportMetric(float64(probes), "hash-probes")
+			})
+		}
+	}
+}
+
+// BenchmarkOptimizers measures plan-search cost on a 14-relation
+// random tree for each algorithm (Algorithm 1 vs the three greedies).
+func BenchmarkOptimizers(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := plan.RandomTree(14, rng, plan.UniformStats(rng, 0.1, 0.6, 1, 8))
+	model := cost.New(tr, cost.DefaultWeights())
+	for _, a := range []opt.Algorithm{opt.Exhaustive, opt.RankOrdering, opt.GreedyResultSize, opt.GreedySurvival} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt.Optimize(model, cost.COM, a)
+			}
+		})
+	}
+}
+
+// BenchmarkExpansion isolates the factorized result expansion (the
+// 1/14-weighted phase) against the factorized no-expansion run.
+func BenchmarkExpansion(b *testing.B) {
+	tr := plan.Star(4, plan.FixedStats(0.8, 4))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 2000, Seed: 1})
+	order := plan.Order{1, 2, 3, 4}
+	for _, flat := range []bool{false, true} {
+		name := "factorized"
+		if flat {
+			name = "flat"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(ds, exec.Options{
+					Strategy: cost.COM, Order: order, FlatOutput: flat,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

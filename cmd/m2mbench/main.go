@@ -1,0 +1,79 @@
+// Command m2mbench regenerates the figures of "Optimizing Queries with
+// Many-to-Many Joins" (Kalumin & Deshpande, ICDE 2025) from this
+// repository's reimplementation. Each subcommand reproduces one figure
+// of the paper; `all` runs everything.
+//
+// Usage:
+//
+//	m2mbench [-scale quick|full] [-seed N] <fig4|fig6|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all>
+//
+// quick scale (default) finishes in seconds; full scale approaches the
+// paper's experiment sizes and can take many minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"m2mjoin/internal/experiments"
+)
+
+var figures = []struct {
+	name string
+	desc string
+	run  func(experiments.Scale, int64) *experiments.Table
+}{
+	{"fig4", "sampling-based match probability / fanout estimation (Q-error)", experiments.Fig4},
+	{"fig6", "cost-model robustness to estimation errors (10-rel star)", experiments.Fig6},
+	{"fig10", "join-order heuristics vs exhaustive optimal", experiments.Fig10},
+	{"fig11", "synthetic benchmark: six strategies, four query shapes", experiments.Fig11},
+	{"fig12", "CE benchmark (simulated datasets): six strategies", experiments.Fig12},
+	{"fig13", "analytic simulation: cost vs match probability", experiments.Fig13},
+	{"fig14", "cost-model validation: predicted vs actual", experiments.Fig14},
+	{"fig15", "constant-fanout assumption under skew", experiments.Fig15},
+	{"fig16", "robustness to random join orders", experiments.Fig16},
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+
+	ran := false
+	for _, f := range figures {
+		if target != "all" && target != f.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		tbl := f.run(scale, *seed)
+		tbl.Render(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", target)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: m2mbench [-scale quick|full] [-seed N] <figure|all>\n\nfigures:\n")
+	for _, f := range figures {
+		fmt.Fprintf(os.Stderr, "  %-6s  %s\n", f.name, f.desc)
+	}
+}

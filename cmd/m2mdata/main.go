@@ -1,0 +1,163 @@
+// Command m2mdata generates, saves, inspects and verifies the synthetic
+// datasets used throughout the benchmarks, so workloads can be
+// materialized once and shared across runs or external tools.
+//
+// Usage:
+//
+//	m2mdata gen  -out DIR [-shape star|path|snowflake32|snowflake51]
+//	             [-rows N] [-m lo,hi] [-fo lo,hi] [-seed N]
+//	m2mdata info -dir DIR
+//	m2mdata verify -dir DIR        # re-measure stats vs annotations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+	"m2mjoin/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "m2mdata:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  m2mdata gen  -out DIR [-shape star|path|snowflake32|snowflake51] [-rows N] [-m lo,hi] [-fo lo,hi] [-seed N]
+  m2mdata info -dir DIR
+  m2mdata verify -dir DIR`)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output directory (required)")
+	shape := fs.String("shape", "snowflake32", "query shape")
+	rows := fs.Int("rows", 10000, "driver cardinality")
+	mRange := fs.String("m", "0.2,0.6", "match probability range lo,hi")
+	foRange := fs.String("fo", "1,5", "fanout range lo,hi")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	mLo, mHi, err := parseRange(*mRange)
+	if err != nil {
+		return err
+	}
+	foLo, foHi, err := parseRange(*foRange)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	src := plan.UniformStats(rng, mLo, mHi, foLo, foHi)
+	var tree *plan.Tree
+	switch *shape {
+	case "star":
+		tree = plan.Star(6, src)
+	case "path":
+		tree = plan.CenteredPath(7, src)
+	case "snowflake32":
+		tree = plan.Snowflake(3, 2, src)
+	case "snowflake51":
+		tree = plan.Snowflake(5, 1, src)
+	default:
+		return fmt.Errorf("unknown shape %q", *shape)
+	}
+	ds := workload.Generate(tree, workload.Config{DriverRows: *rows, Seed: *seed})
+	if err := storage.SaveDataset(ds, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d relations (%d total rows) to %s\n",
+		tree.Len(), ds.TotalRows(), *out)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	dir := fs.String("dir", "", "dataset directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	ds, err := storage.LoadDataset(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("join tree: %s\n", ds.Tree)
+	fmt.Printf("%-4s %-12s %-10s %8s %8s %8s %s\n",
+		"id", "name", "parent", "rows", "m", "fo", "key")
+	for i := 0; i < ds.Tree.Len(); i++ {
+		id := plan.NodeID(i)
+		rel := ds.Relation(id)
+		if id == plan.Root {
+			fmt.Printf("%-4d %-12s %-10s %8d %8s %8s\n",
+				i, rel.Name(), "-", rel.NumRows(), "-", "-")
+			continue
+		}
+		st := ds.Tree.Stats(id)
+		fmt.Printf("%-4d %-12s %-10s %8d %8.3f %8.2f %s\n",
+			i, rel.Name(), ds.Tree.Name(ds.Tree.Parent(id)),
+			rel.NumRows(), st.M, st.Fo, ds.KeyColumn(id))
+	}
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "dataset directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	ds, err := storage.LoadDataset(*dir)
+	if err != nil {
+		return err
+	}
+	measured := workload.Measure(ds)
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "relation", "m (ann.)", "m (data)", "fo (ann.)", "fo (data)")
+	for _, id := range ds.Tree.NonRoot() {
+		ann := ds.Tree.Stats(id)
+		got := measured[id]
+		fmt.Printf("%-12s %10.4f %10.4f %10.3f %10.3f\n",
+			ds.Tree.Name(id), ann.M, got.M, ann.Fo, got.Fo)
+	}
+	return nil
+}
+
+func parseRange(s string) (lo, hi float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("range %q must be lo,hi", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%g", &lo); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%g", &hi); err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,58 @@
+// Robustorder: the paper's robustness message in one program. Execute
+// the same snowflake query under every valid join order with the
+// standard engine and with the factorized engine, and print the spread
+// between the best and worst order. Factorized execution compresses
+// the spread dramatically — bad join orders stop being catastrophic,
+// which is the argument for simpler query optimization (Section 5.7).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+func main() {
+	// Heterogeneous statistics: some joins explode (high fanout), some
+	// filter (low match probability). Under STD, putting an exploding
+	// join early multiplies every subsequent probe count; under COM the
+	// fanouts drop out of probes on other branches.
+	tree := plan.NewTree("R1")
+	a := tree.AddChild(plan.Root, plan.EdgeStats{M: 0.9, Fo: 8}, "R2") // exploding
+	tree.AddChild(a, plan.EdgeStats{M: 0.3, Fo: 1}, "R3")              // filtering
+	b := tree.AddChild(plan.Root, plan.EdgeStats{M: 0.4, Fo: 6}, "R4")
+	tree.AddChild(b, plan.EdgeStats{M: 0.5, Fo: 2}, "R5")
+	tree.AddChild(plan.Root, plan.EdgeStats{M: 0.25, Fo: 1}, "R6") // filtering
+	fmt.Printf("query: %s, mixed exploding/filtering joins\n", tree)
+
+	ds := workload.Generate(tree, workload.Config{DriverRows: 5000, Seed: 11})
+	orders := tree.AllOrders()
+	fmt.Printf("executing all %d valid left-deep orders...\n\n", len(orders))
+
+	for _, s := range []cost.Strategy{cost.STD, cost.COM} {
+		minProbes, maxProbes := int64(1<<62), int64(0)
+		var worst, best plan.Order
+		for _, o := range orders {
+			stats, err := exec.Run(ds, exec.Options{Strategy: s, Order: o})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if stats.HashProbes < minProbes {
+				minProbes, best = stats.HashProbes, o
+			}
+			if stats.HashProbes > maxProbes {
+				maxProbes, worst = stats.HashProbes, o
+			}
+		}
+		fmt.Printf("%s:\n", s)
+		fmt.Printf("  best order:  %-40s %12d probes\n", best, minProbes)
+		fmt.Printf("  worst order: %-40s %12d probes\n", worst, maxProbes)
+		fmt.Printf("  spread: %.2fx\n\n", float64(maxProbes)/float64(minProbes))
+	}
+	fmt.Println("COM's spread is a small constant; STD's grows with the fanout product —")
+	fmt.Println("accounting for redundant probes makes execution robust to the join order.")
+}

@@ -1,0 +1,69 @@
+// Starschema: an SSBM-style star query — a fact table joined with six
+// dimension tables — comparing what a classical optimizer would do
+// (rank ordering on selectivities) against the paper's survival-
+// probability ordering, under both the standard and the factorized
+// execution model.
+//
+// Star queries are the case where the paper proves the ASI property
+// still holds, yet the two cost models pick different orders because
+// fanouts no longer matter for probes on driver attributes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/opt"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+func main() {
+	// Six dimensions with deliberately conflicting statistics: edges
+	// with low match probability but high fanout (selective but
+	// exploding) versus high match probability with fanout 1.
+	tree := plan.NewTree("fact")
+	dims := []plan.EdgeStats{
+		{M: 0.2, Fo: 8}, // s=1.6: rank ordering sees "selective-ish"
+		{M: 0.9, Fo: 1}, // s=0.9: rank ordering favors this
+		{M: 0.3, Fo: 6}, // s=1.8
+		{M: 0.7, Fo: 1}, // s=0.7: rank ordering's favorite
+		{M: 0.25, Fo: 4},
+		{M: 0.8, Fo: 2},
+	}
+	for i, st := range dims {
+		tree.AddChild(plan.Root, st, fmt.Sprintf("dim%d", i+1))
+	}
+
+	fmt.Println("generating star schema (50k fact rows, 6 dimensions)...")
+	ds := workload.Generate(tree, workload.Config{DriverRows: 50000, Seed: 7})
+
+	model := cost.New(workload.MeasuredTree(ds), cost.DefaultWeights())
+	rank := opt.Optimize(model, cost.COM, opt.RankOrdering)
+	surv := opt.Optimize(model, cost.COM, opt.GreedySurvival)
+	fmt.Printf("\nrank-ordering order   (classical): %s\n", rank.Order)
+	fmt.Printf("survival-prob order   (paper):     %s\n", surv.Order)
+
+	for _, tc := range []struct {
+		label string
+		o     plan.Order
+	}{{"rank order", rank.Order}, {"survival order", surv.Order}} {
+		fmt.Printf("\nexecuting with %s:\n", tc.label)
+		for _, s := range []cost.Strategy{cost.STD, cost.COM} {
+			start := time.Now()
+			stats, err := exec.Run(ds, exec.Options{Strategy: s, Order: tc.o})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-4s %10v  hash probes %d\n",
+				s, time.Since(start).Round(time.Microsecond), stats.HashProbes)
+		}
+	}
+	fmt.Println("\nRank ordering optimizes s = m*fo, the right metric for STD; the")
+	fmt.Println("survival order optimizes match probabilities, the right metric once")
+	fmt.Println("redundant probes are avoided — each engine wants a different order,")
+	fmt.Println("which is why the paper re-derives join ordering for COM.")
+}

@@ -1,0 +1,82 @@
+// Package bitvector implements the hash bitvector filters used for
+// sideways information passing (Section 2.2 and 4.4): a join operator
+// registers the hashes of its build-side keys in a bit array; probe-
+// side tuples whose key hash is absent are guaranteed to have no match
+// and can be pruned before reaching the hash join. False positives are
+// possible (two keys sharing a bit) and harmless: the tuple is pruned
+// later by the join itself.
+package bitvector
+
+import (
+	"math/bits"
+
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/storage"
+)
+
+// Filter is a fixed-size hash bitvector over a set of int64 keys.
+type Filter struct {
+	bits  []uint64
+	shift uint
+	n     int // number of keys inserted (not deduplicated)
+}
+
+// BitsPerKeyDefault controls the default filter density. At 8 bits per
+// key the single-hash false-positive rate is about 1/8 in the worst
+// case of all-distinct keys; the paper's epsilon is similarly a small
+// constant estimated by micro-benchmarking.
+const BitsPerKeyDefault = 8
+
+// New creates a filter sized for n keys at the given bits-per-key
+// density (0 selects BitsPerKeyDefault).
+func New(n, bitsPerKey int) *Filter {
+	if bitsPerKey <= 0 {
+		bitsPerKey = BitsPerKeyDefault
+	}
+	bitCount := 64
+	for bitCount < n*bitsPerKey {
+		bitCount <<= 1
+	}
+	return &Filter{
+		bits:  make([]uint64, bitCount/64),
+		shift: uint(64 - bits.TrailingZeros(uint(bitCount))),
+	}
+}
+
+// BuildFromColumn creates a filter containing every key of rel's
+// column whose live bit is set (nil live inserts all rows).
+func BuildFromColumn(rel *storage.Relation, column string, live storage.Bitmap, bitsPerKey int) *Filter {
+	col := rel.Column(column)
+	f := New(len(col), bitsPerKey)
+	for row, key := range col {
+		if live != nil && !live[row] {
+			continue
+		}
+		f.Add(key)
+	}
+	return f
+}
+
+// Add registers a key.
+func (f *Filter) Add(key int64) {
+	h := hashtable.Hash64(key) >> f.shift
+	f.bits[h>>6] |= 1 << (h & 63)
+	f.n++
+}
+
+// MayContain reports whether key might be present. A false result is
+// definitive: the key was never added.
+func (f *Filter) MayContain(key int64) bool {
+	h := hashtable.Hash64(key) >> f.shift
+	return f.bits[h>>6]&(1<<(h&63)) != 0
+}
+
+// FillRatio returns the fraction of set bits, which approximates the
+// false-positive probability for single-hash filters.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(len(f.bits)*64)
+}

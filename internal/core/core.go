@@ -1,0 +1,162 @@
+// Package core is the high-level API of the library: it ties together
+// statistics measurement, the cost model, join-order optimization and
+// the vectorized executor into a plan-then-execute flow, including the
+// paper's headline capability of choosing both the join order and the
+// execution strategy (STD/COM x {none, BVP, SJ}) from the cost model.
+//
+// Typical use:
+//
+//	ds := workload.Generate(tree, cfg)        // or hand-built dataset
+//	choice := core.ChoosePlan(core.PlanRequest{Dataset: ds})
+//	stats, err := core.Execute(ds, choice)
+//
+// The driver relation is the root of the dataset's join tree; to
+// consider other drivers, build the tree rooted at each candidate and
+// compare the predicted costs.
+package core
+
+import (
+	"fmt"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/opt"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+	"m2mjoin/internal/workload"
+)
+
+// PlanRequest configures plan selection.
+type PlanRequest struct {
+	// Dataset provides the join tree; when MeasureStats is set the
+	// edge statistics are measured from the data instead of trusting
+	// the tree's annotations.
+	Dataset      *storage.Dataset
+	MeasureStats bool
+	// FlatOutput includes the expansion cost for COM variants.
+	FlatOutput bool
+	// Weights default to cost.DefaultWeights().
+	Weights *cost.Weights
+	// Algorithm picks the join-order search for non-SJ strategies
+	// (default: exhaustive DP for small trees, survival greedy above
+	// ExhaustiveLimit relations).
+	Algorithm *opt.Algorithm
+	// Strategies restricts the candidate strategies (default: all six).
+	Strategies []cost.Strategy
+}
+
+// ExhaustiveLimit is the tree size above which plan selection defaults
+// to the survival-probability greedy instead of Algorithm 1.
+const ExhaustiveLimit = 16
+
+// PlanChoice is a fully determined execution plan.
+type PlanChoice struct {
+	Strategy  cost.Strategy
+	Order     plan.Order
+	SemiJoins map[plan.NodeID][]plan.NodeID // phase-1 orders for SJ strategies
+	Predicted cost.PlanCost
+	// Tree is the (possibly measured) statistics tree the choice was
+	// costed against.
+	Tree *plan.Tree
+}
+
+// ChoosePlan costs every candidate strategy with its best join order
+// and returns the cheapest plan.
+func ChoosePlan(req PlanRequest) (PlanChoice, error) {
+	if req.Dataset == nil {
+		return PlanChoice{}, fmt.Errorf("core: PlanRequest.Dataset is required")
+	}
+	tree := req.Dataset.Tree
+	if req.MeasureStats {
+		tree = workload.MeasuredTree(req.Dataset)
+	}
+	w := cost.DefaultWeights()
+	if req.Weights != nil {
+		w = *req.Weights
+	}
+	model := cost.New(tree, w)
+
+	alg := opt.Exhaustive
+	if tree.Len() > ExhaustiveLimit {
+		alg = opt.GreedySurvival
+	}
+	if req.Algorithm != nil {
+		alg = *req.Algorithm
+	}
+	strategies := req.Strategies
+	if len(strategies) == 0 {
+		strategies = cost.AllStrategies
+	}
+
+	var best PlanChoice
+	found := false
+	for _, s := range strategies {
+		var choice PlanChoice
+		switch s {
+		case cost.SJSTD, cost.SJCOM:
+			p := opt.SJOptimal(model, s)
+			choice = PlanChoice{
+				Strategy:  s,
+				Order:     p.Phase2,
+				SemiJoins: p.SemiJoins,
+				Predicted: model.Cost(s, p.Phase2, req.FlatOutput),
+			}
+		default:
+			r := opt.Optimize(model, s, alg)
+			choice = PlanChoice{
+				Strategy:  s,
+				Order:     r.Order,
+				Predicted: model.Cost(s, r.Order, req.FlatOutput),
+			}
+		}
+		choice.Tree = tree
+		if !found || choice.Predicted.Total < best.Predicted.Total {
+			best = choice
+			found = true
+		}
+	}
+	if !found {
+		return PlanChoice{}, fmt.Errorf("core: no candidate strategies")
+	}
+	return best, nil
+}
+
+// ExecuteOptions tune execution of a chosen plan.
+type ExecuteOptions struct {
+	FlatOutput bool
+	ChunkSize  int
+	// CollectOutput receives output tuples (canonical NodeID layout);
+	// requires FlatOutput.
+	CollectOutput func(rows []int32)
+}
+
+// Execute runs the chosen plan against the dataset.
+func Execute(ds *storage.Dataset, choice PlanChoice, opts ExecuteOptions) (exec.Stats, error) {
+	return exec.Run(ds, exec.Options{
+		Strategy:      choice.Strategy,
+		Order:         choice.Order,
+		SemiJoins:     choice.SemiJoins,
+		FlatOutput:    opts.FlatOutput,
+		ChunkSize:     opts.ChunkSize,
+		CollectOutput: opts.CollectOutput,
+	})
+}
+
+// Query is the one-call convenience: measure statistics, choose the
+// best plan across all strategies, execute it, and return both the
+// choice and the measured execution statistics.
+func Query(ds *storage.Dataset, flatOutput bool) (PlanChoice, exec.Stats, error) {
+	choice, err := ChoosePlan(PlanRequest{
+		Dataset:      ds,
+		MeasureStats: true,
+		FlatOutput:   flatOutput,
+	})
+	if err != nil {
+		return PlanChoice{}, exec.Stats{}, err
+	}
+	stats, err := Execute(ds, choice, ExecuteOptions{FlatOutput: flatOutput})
+	if err != nil {
+		return PlanChoice{}, exec.Stats{}, err
+	}
+	return choice, stats, nil
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/opt"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+// TestEstimatedPlansCloseToMeasuredPlans closes the paper's loop
+// end-to-end: plans chosen from sampled statistics (Section 3.2's
+// correlated sampling) should cost — evaluated under the measured
+// statistics — nearly as little as plans chosen from the measured
+// statistics themselves. Fig. 4 says the estimates are accurate;
+// Fig. 6 says the match-probability model tolerates their residual
+// errors; this test checks the combination.
+func TestEstimatedPlansCloseToMeasuredPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	worst := 1.0
+	for trial := 0; trial < 8; trial++ {
+		tr := plan.RandomTree(4+rng.Intn(4), rng, plan.UniformStats(rng, 0.2, 0.7, 1, 5))
+		ds := workload.Generate(tr, workload.Config{DriverRows: 20000, Seed: int64(trial * 7)})
+
+		measured := cost.New(workload.MeasuredTree(ds), cost.DefaultWeights())
+		estimated := cost.New(workload.EstimatedTree(ds, 0.01, rng), cost.DefaultWeights())
+
+		bestTrue := opt.ExhaustiveDP(measured, cost.COM)
+		bestEst := opt.ExhaustiveDP(estimated, cost.COM)
+
+		actual := measured.Cost(cost.COM, bestEst.Order, true).Total
+		optimal := bestTrue.Cost.Total
+		if ratio := actual / optimal; ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.2 {
+		t.Errorf("sampled-statistics plans up to %.3fx worse than measured-statistics plans", worst)
+	}
+}

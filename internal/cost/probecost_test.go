@@ -1,0 +1,137 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+// TestProbeCostDefaults: the unit-cost model behaves exactly as before.
+func TestProbeCostDefaults(t *testing.T) {
+	tr, _ := runningExample()
+	m := New(tr, DefaultWeights())
+	for _, id := range tr.NonRoot() {
+		if m.ProbeCost(id) != 1 {
+			t.Errorf("default probe cost for %d = %v", id, m.ProbeCost(id))
+		}
+	}
+	m2 := NewWithProbeCosts(tr, DefaultWeights(), nil)
+	o := plan.Order{1, 2, 4, 3, 5}
+	if a, b := m.CostCOM(o, true).Total, m2.CostCOM(o, true).Total; a != b {
+		t.Errorf("nil cost map changed totals: %v vs %v", a, b)
+	}
+}
+
+// TestProbeCostScalesLinearly: doubling one operator's probe cost adds
+// exactly its probe count to the total, for every strategy.
+func TestProbeCostScalesLinearly(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		tr := plan.RandomTree(3+rng.Intn(5), rng,
+			plan.UniformStats(rng, 0.1, 0.9, 1, 6))
+		target := plan.NodeID(1 + rng.Intn(tr.Len()-1))
+		unit := New(tr, DefaultWeights())
+		scaled := NewWithProbeCosts(tr, DefaultWeights(),
+			map[plan.NodeID]float64{target: 2})
+		for _, o := range tr.AllOrders()[:1] {
+			for _, s := range AllStrategies {
+				base := unit.Cost(s, o, false)
+				got := scaled.Cost(s, o, false)
+				// The delta equals the (unit-cost) probes into target:
+				// recompute with cost 1 everywhere else zeroed out via a
+				// 3x model and linearity check instead.
+				tripled := NewWithProbeCosts(tr, DefaultWeights(),
+					map[plan.NodeID]float64{target: 3}).Cost(s, o, false)
+				deltaA := got.Total - base.Total
+				deltaB := tripled.Total - got.Total
+				if !almostEqual(deltaA, deltaB) {
+					t.Fatalf("strategy %v: non-linear probe cost scaling (%v vs %v)",
+						s, deltaA, deltaB)
+				}
+				if deltaA < 0 {
+					t.Fatalf("strategy %v: negative probe-cost delta", s)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeCostMarginalsConsistent: the marginal-sum identity holds
+// with heterogeneous probe costs too.
+func TestProbeCostMarginalsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	w := DefaultWeights()
+	for trial := 0; trial < 30; trial++ {
+		tr := plan.RandomTree(2+rng.Intn(6), rng,
+			plan.UniformStats(rng, 0.1, 0.9, 1, 6))
+		costs := make(map[plan.NodeID]float64)
+		for _, id := range tr.NonRoot() {
+			costs[id] = 0.5 + rng.Float64()*20
+		}
+		model := NewWithProbeCosts(tr, w, costs)
+		for _, o := range tr.AllOrders()[:1] {
+			for _, s := range AllStrategies {
+				sum := 0.0
+				set := map[plan.NodeID]bool{plan.Root: true}
+				for _, id := range o {
+					sum += model.Marginal(s, id, set)
+					set[id] = true
+				}
+				switch s {
+				case SJSTD, SJCOM:
+					sum += w.Filter * model.Phase1Probes()
+				case BVPSTD, BVPCOM:
+					sum += w.Filter * model.InitialFilterProbes()
+				}
+				full := model.Cost(s, o, false)
+				if !almostEqual(sum, full.Total) {
+					t.Fatalf("strategy %v: marginal sum %v != full %v with probe costs",
+						s, sum, full.Total)
+				}
+			}
+		}
+	}
+}
+
+// TestExpensiveProbeChangesOptimum: with an expensive operator, the
+// optimal COM plan defers or avoids probing it; the per-operator cost
+// must actually influence the DP's choice.
+func TestExpensiveProbeChangesOptimum(t *testing.T) {
+	tr := plan.NewTree("R1")
+	// Two leaves with identical statistics; only the probe cost
+	// differs, so only the cost can break the tie.
+	cheap := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "cheap")
+	pricey := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "pricey")
+	model := NewWithProbeCosts(tr, DefaultWeights(),
+		map[plan.NodeID]float64{pricey: 100})
+
+	// Probing cheap first filters the driver before the expensive call:
+	// cost(cheap, pricey) = 1 + 0.5*100 vs cost(pricey, cheap) = 100 + 0.5.
+	a := model.CostCOM(plan.Order{cheap, pricey}, false).Total
+	b := model.CostCOM(plan.Order{pricey, cheap}, false).Total
+	if a >= b {
+		t.Fatalf("cheap-first (%v) should beat pricey-first (%v)", a, b)
+	}
+	if !almostEqual(a, 1+0.5*100) {
+		t.Errorf("cheap-first cost = %v, want 51", a)
+	}
+	// Under COM, pricey's fanout does not multiply the probes into
+	// cheap (a driver-attribute probe counts survivors only): the
+	// second term is survival m=0.5, not s=1.
+	if !almostEqual(b, 100+0.5) {
+		t.Errorf("pricey-first cost = %v, want 100.5", b)
+	}
+}
+
+// TestNewWithProbeCostsPanics: non-positive costs are programming
+// errors.
+func TestNewWithProbeCostsPanics(t *testing.T) {
+	tr, _ := runningExample()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewWithProbeCosts(tr, DefaultWeights(), map[plan.NodeID]float64{1: 0})
+}

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"m2mjoin/internal/factor"
+	"m2mjoin/internal/plan"
+)
+
+// This file implements the COM pipeline (and its BVP/SJ variants):
+// intermediate results stay factorized, so a join on an attribute of
+// relation X probes once per live X row — never once per expanded
+// intermediate tuple. Liveness kills propagate through the factor
+// chunk in both directions, making probes on ancestor attributes
+// "survival probes" exactly as the cost model assumes.
+
+// runCOM executes the factorized pipeline chunk-at-a-time.
+func (r *run) runCOM() {
+	useBVP := r.filters != nil
+	r.driverChunks(func(driverRows []int32) {
+		chunk := factor.NewChunk(append([]int32(nil), driverRows...))
+		if r.opts.NoKillPropagation {
+			chunk.SetPropagation(false)
+		}
+		joined := map[plan.NodeID]bool{plan.Root: true}
+		if useBVP {
+			r.applyFiltersCOM(chunk, plan.Root, joined)
+		}
+		for _, next := range r.opts.Order {
+			r.joinCOM(chunk, next)
+			joined[next] = true
+			if useBVP {
+				r.applyFiltersCOM(chunk, next, joined)
+			}
+			if chunk.Driver().LiveCount == 0 {
+				break
+			}
+		}
+		if chunk.Driver().LiveCount == 0 || len(chunk.Order()) != r.ds.Tree.Len() {
+			return
+		}
+		expand := chunk.Expand
+		if r.opts.BreadthFirstExpand {
+			expand = chunk.ExpandBreadthFirst
+		}
+		switch {
+		case r.opts.FlatOutput:
+			var passed int64
+			expanded := expand(func(rows []int32) {
+				if r.emitTuple(rows) {
+					passed++
+				}
+			})
+			r.stats.OutputTuples += passed
+			r.stats.ExpandedTuples += expanded
+		case r.residuals != nil:
+			// Factorized output with residual predicates: the
+			// representation cannot express the cyclic constraint, so
+			// counting requires enumerating (without materializing).
+			var passed int64
+			chunk.Expand(func(rows []int32) {
+				if r.residualsOKJoinOrder(rows) {
+					passed++
+				}
+			})
+			r.stats.OutputTuples += passed
+			r.stats.FactorizedRows += int64(chunk.FactorizedSize())
+		default:
+			r.stats.OutputTuples += chunk.CountOutput()
+			r.stats.FactorizedRows += int64(chunk.FactorizedSize())
+		}
+	})
+}
+
+// joinCOM probes the live rows of next's parent node into next's hash
+// table and appends the resulting factor node.
+func (r *run) joinCOM(chunk *factor.Chunk, next plan.NodeID) {
+	parentID := r.ds.Tree.Parent(next)
+	pNode := chunk.Node(parentID)
+	parentRel := r.ds.Relation(parentID)
+	keyCol := parentRel.Column(r.ds.KeyColumn(next))
+	table := r.tables[next]
+
+	keys := make([]int64, len(pNode.Rows))
+	for i, row := range pNode.Rows {
+		keys[i] = keyCol[row]
+	}
+	res := table.ProbeBatch(keys, pNode.Live)
+	r.stats.HashProbes += int64(res.Probed)
+	r.stats.PerRelationProbes[next] += int64(res.Probed)
+	chunk.AddJoin(parentID, next, res.Counts, res.Rows)
+}
+
+// applyFiltersCOM applies the bitvectors of at's unjoined children to
+// the live rows of at's factor node, killing misses (with propagation).
+func (r *run) applyFiltersCOM(chunk *factor.Chunk, at plan.NodeID, joined map[plan.NodeID]bool) {
+	node := chunk.Node(at)
+	rel := r.ds.Relation(at)
+	for _, c := range r.unjoinedChildren(at, joined) {
+		filter := r.filters[c]
+		keyCol := rel.Column(r.ds.KeyColumn(c))
+		for i, row := range node.Rows {
+			if !node.Live[i] {
+				continue
+			}
+			r.stats.FilterProbes++
+			if !filter.MayContain(keyCol[row]) {
+				chunk.Kill(node, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package exec is the vectorized left-deep pipeline executor of the
+// prototype (Section 4): batch-at-a-time execution over columnar
+// relations with six interchangeable strategies — standard
+// materializing execution (STD) or factorized execution (COM), each
+// optionally combined with bitvector-based early pruning (Section 4.4)
+// or semi-join full reduction (Section 4.5).
+//
+// The executor counts every hash-table probe, bitvector probe,
+// semi-join probe and expanded tuple; the weighted sum of these is the
+// abstract cost metric validated against the cost model in Fig. 14.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"m2mjoin/internal/bitvector"
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// DefaultChunkSize matches the paper's initial chunk size.
+const DefaultChunkSize = 2048
+
+// Options configure one query execution.
+type Options struct {
+	// Strategy selects one of the six execution approaches.
+	Strategy cost.Strategy
+	// Order is the left-deep join order (a permutation of the non-root
+	// relations honoring precedence constraints).
+	Order plan.Order
+	// FlatOutput requests flat result tuples. COM variants then run the
+	// final expansion phase; STD variants always produce flat tuples.
+	FlatOutput bool
+	// ChunkSize is the driver batch size (DefaultChunkSize when 0).
+	ChunkSize int
+	// BitsPerKey controls bitvector density for the BVP strategies
+	// (bitvector.BitsPerKeyDefault when 0).
+	BitsPerKey int
+	// SemiJoins optionally fixes the phase-1 semi-join order per parent
+	// for the SJ strategies; children not listed (or a nil map) are
+	// probed in ascending NodeID order.
+	SemiJoins map[plan.NodeID][]plan.NodeID
+	// Residuals are non-tree equi-join predicates for cyclic queries,
+	// checked on every result tuple before it is emitted (the paper's
+	// spanning-tree treatment of cyclic join graphs).
+	Residuals []Residual
+	// BreadthFirstExpand switches the COM expansion phase to the
+	// breadth-first variant (Section 4.3's alternative); identical
+	// output, different memory/locality trade-off.
+	BreadthFirstExpand bool
+	// NoKillPropagation is an ablation switch: liveness kills stop
+	// propagating through the factor chunk, so COM variants keep
+	// probing on behalf of rows whose other branches already died.
+	// Results are unchanged; probe counts quantify the survival effect
+	// the cost model charges for.
+	NoKillPropagation bool
+	// Selections are pushed-down equality predicates evaluated on the
+	// base relations before execution (Section 2.1's assumption).
+	Selections []Selection
+	// CollectOutput, when set, receives every flat output tuple as the
+	// base-relation row indices in ascending NodeID order. Only valid
+	// with FlatOutput. Intended for small verification queries.
+	CollectOutput func(rows []int32)
+}
+
+// Stats are the measured execution counters.
+type Stats struct {
+	// HashProbes is the number of hash-table probes.
+	HashProbes int64
+	// FilterProbes is the number of bitvector probes (BVP strategies).
+	FilterProbes int64
+	// SemiJoinProbes is the number of phase-1 semi-join probes (SJ
+	// strategies).
+	SemiJoinProbes int64
+	// OutputTuples is the number of flat result tuples (counted even
+	// when the output stays factorized).
+	OutputTuples int64
+	// ExpandedTuples is the number of tuples materialized by the COM
+	// expansion phase (equals OutputTuples when FlatOutput is set for a
+	// COM variant, 0 otherwise).
+	ExpandedTuples int64
+	// IntermediateTuples is the number of intermediate tuples
+	// materialized by STD variants across all joins.
+	IntermediateTuples int64
+	// FactorizedRows is the total number of live factorized rows
+	// (COM variants, factorized output).
+	FactorizedRows int64
+	// PerRelationProbes breaks HashProbes down by probed relation.
+	PerRelationProbes map[plan.NodeID]int64
+	// Checksum is an order-independent hash over the flat output; equal
+	// inputs and queries must yield equal checksums across all six
+	// strategies and any join order.
+	Checksum uint64
+}
+
+// WeightedCost returns the abstract execution cost of the run under
+// the given probe weights (Section 5.4).
+func (s Stats) WeightedCost(w cost.Weights) float64 {
+	return float64(s.HashProbes) +
+		w.Filter*float64(s.FilterProbes+s.SemiJoinProbes) +
+		w.Expand*float64(s.ExpandedTuples)
+}
+
+// Run executes the query described by the dataset under opts.
+func Run(ds *storage.Dataset, opts Options) (Stats, error) {
+	if err := ds.Validate(); err != nil {
+		return Stats{}, fmt.Errorf("exec: invalid dataset: %w", err)
+	}
+	if !opts.Order.Valid(ds.Tree) {
+		return Stats{}, fmt.Errorf("exec: invalid join order %v", opts.Order)
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.CollectOutput != nil && !opts.FlatOutput {
+		return Stats{}, fmt.Errorf("exec: CollectOutput requires FlatOutput")
+	}
+	for _, res := range opts.Residuals {
+		if err := res.Validate(ds); err != nil {
+			return Stats{}, fmt.Errorf("exec: %w", err)
+		}
+	}
+	for _, sel := range opts.Selections {
+		if err := sel.Validate(ds); err != nil {
+			return Stats{}, fmt.Errorf("exec: %w", err)
+		}
+	}
+	r := &run{ds: ds, opts: opts, residuals: newResidualChecker(ds, opts.Residuals)}
+	r.stats.PerRelationProbes = make(map[plan.NodeID]int64, ds.Tree.Len())
+	r.baseMasks = selectionMasks(ds, opts.Selections)
+	r.driverLive = r.baseMasks[plan.Root]
+
+	switch opts.Strategy {
+	case cost.STD, cost.COM:
+		r.buildTables(r.baseMasks)
+	case cost.BVPSTD, cost.BVPCOM:
+		r.buildTables(r.baseMasks)
+		r.buildFilters()
+	case cost.SJSTD, cost.SJCOM:
+		r.semiJoinPass() // builds reduced tables as it goes
+	default:
+		return Stats{}, fmt.Errorf("exec: unknown strategy %v", opts.Strategy)
+	}
+
+	switch opts.Strategy {
+	case cost.STD, cost.BVPSTD, cost.SJSTD:
+		r.runSTD()
+	case cost.COM, cost.BVPCOM, cost.SJCOM:
+		r.runCOM()
+	}
+	return r.stats, nil
+}
+
+// run holds the per-execution state.
+type run struct {
+	ds    *storage.Dataset
+	opts  Options
+	stats Stats
+
+	tables    map[plan.NodeID]*hashtable.Table
+	filters   map[plan.NodeID]*bitvector.Filter
+	residuals *residualChecker
+	// baseMasks are the pushed-down selection masks per relation (nil
+	// entries or a nil map mean all-live).
+	baseMasks map[plan.NodeID]storage.Bitmap
+	// driverLive restricts the driver scan: the selection mask, further
+	// reduced by the semi-join pass for SJ strategies. Nil = all live.
+	driverLive storage.Bitmap
+
+	// canonical maps join-order position -> position in the canonical
+	// (ascending NodeID) output tuple layout; tupleBuf is the reused
+	// emission buffer.
+	canonical []int
+	tupleBuf  []int32
+}
+
+// buildTables constructs the hash table of every non-root relation on
+// its parent-join key, honoring optional liveness masks.
+func (r *run) buildTables(live map[plan.NodeID]storage.Bitmap) {
+	t := r.ds.Tree
+	r.tables = make(map[plan.NodeID]*hashtable.Table, t.Len()-1)
+	for _, id := range t.NonRoot() {
+		r.tables[id] = hashtable.Build(r.ds.Relation(id), r.ds.KeyColumn(id), live[id])
+	}
+}
+
+// buildFilters constructs one bitvector per non-root relation over its
+// build-side join key, honoring selection masks.
+func (r *run) buildFilters() {
+	t := r.ds.Tree
+	r.filters = make(map[plan.NodeID]*bitvector.Filter, t.Len()-1)
+	for _, id := range t.NonRoot() {
+		r.filters[id] = bitvector.BuildFromColumn(
+			r.ds.Relation(id), r.ds.KeyColumn(id), r.baseMasks[id], r.opts.BitsPerKey)
+	}
+}
+
+// unjoinedChildren returns the children of id not in the joined set,
+// ascending by NodeID: the bitvectors applied when id materializes.
+func (r *run) unjoinedChildren(id plan.NodeID, joined map[plan.NodeID]bool) []plan.NodeID {
+	var out []plan.NodeID
+	for _, c := range r.ds.Tree.Children(id) {
+		if !joined[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// canonicalPositions computes, for the join-order tuple layout
+// [driver, order...], the permutation into ascending-NodeID layout.
+func (r *run) canonicalPositions() []int {
+	if r.canonical != nil {
+		return r.canonical
+	}
+	ids := append([]plan.NodeID{plan.Root}, r.opts.Order...)
+	sorted := append([]plan.NodeID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	posOf := make(map[plan.NodeID]int, len(sorted))
+	for i, id := range sorted {
+		posOf[id] = i
+	}
+	r.canonical = make([]int, len(ids))
+	for i, id := range ids {
+		r.canonical[i] = posOf[id]
+	}
+	return r.canonical
+}
+
+// emitTuple records one flat output tuple (rows in join-order layout),
+// remapping to the canonical ascending-NodeID layout so checksums and
+// collected tuples are independent of the join order. Tuples failing a
+// residual predicate are dropped; the return value reports whether the
+// tuple was emitted.
+func (r *run) emitTuple(joinOrderRows []int32) bool {
+	canon := r.canonicalPositions()
+	if cap(r.tupleBuf) < len(joinOrderRows) {
+		r.tupleBuf = make([]int32, len(joinOrderRows))
+	}
+	tmp := r.tupleBuf[:len(joinOrderRows)]
+	for i, p := range canon {
+		tmp[p] = joinOrderRows[i]
+	}
+	if !r.residuals.ok(tmp) {
+		return false
+	}
+	r.stats.Checksum += checksumCanonical(tmp)
+	if r.opts.CollectOutput != nil {
+		r.opts.CollectOutput(tmp)
+	}
+	return true
+}
+
+// residualsOKJoinOrder checks the residual predicates for a tuple in
+// join-order layout without emitting it.
+func (r *run) residualsOKJoinOrder(joinOrderRows []int32) bool {
+	if r.residuals == nil {
+		return true
+	}
+	canon := r.canonicalPositions()
+	if cap(r.tupleBuf) < len(joinOrderRows) {
+		r.tupleBuf = make([]int32, len(joinOrderRows))
+	}
+	tmp := r.tupleBuf[:len(joinOrderRows)]
+	for i, p := range canon {
+		tmp[p] = joinOrderRows[i]
+	}
+	return r.residuals.ok(tmp)
+}
+
+// driverChunks invokes fn with successive batches of driver row
+// indices, honoring the semi-join liveness mask when present.
+func (r *run) driverChunks(fn func(rows []int32)) {
+	driver := r.ds.Relation(plan.Root)
+	n := driver.NumRows()
+	chunk := make([]int32, 0, r.opts.ChunkSize)
+	for i := 0; i < n; i++ {
+		if r.driverLive != nil && !r.driverLive[i] {
+			continue
+		}
+		chunk = append(chunk, int32(i))
+		if len(chunk) == r.opts.ChunkSize {
+			fn(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		fn(chunk)
+	}
+}

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"sort"
+
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// Reference evaluates the dataset's join query with a simple
+// tuple-at-a-time nested recursion — no vectorization, no pruning, no
+// factorization. It returns the output cardinality and the same
+// order-independent checksum the engine computes, providing an
+// independent oracle for correctness tests. Intended for small inputs.
+func Reference(ds *storage.Dataset) (count int64, checksum uint64) {
+	return ReferenceResiduals(ds, nil)
+}
+
+// ReferenceResiduals is Reference with residual predicates applied,
+// the oracle for cyclic queries.
+func ReferenceResiduals(ds *storage.Dataset, residuals []Residual) (count int64, checksum uint64) {
+	return ReferenceOpts(ds, residuals, nil)
+}
+
+// ReferenceOpts is the full oracle: residual predicates for cyclic
+// queries plus pushed-down selections.
+func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selection) (count int64, checksum uint64) {
+	rc := newResidualChecker(ds, residuals)
+	masks := selectionMasks(ds, selections)
+	t := ds.Tree
+	// Index child rows by key for each non-root relation.
+	indexes := make(map[plan.NodeID]map[int64][]int32, t.Len()-1)
+	for _, c := range t.NonRoot() {
+		col := ds.Relation(c).Column(ds.KeyColumn(c))
+		mask := masks[c]
+		idx := make(map[int64][]int32, len(col))
+		for row, k := range col {
+			if mask != nil && !mask[row] {
+				continue
+			}
+			idx[k] = append(idx[k], int32(row))
+		}
+		indexes[c] = idx
+	}
+
+	// Canonical tuple layout: ascending NodeID.
+	ids := append([]plan.NodeID{plan.Root}, t.NonRoot()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slot := make(map[plan.NodeID]int, len(ids))
+	for i, id := range ids {
+		slot[id] = i
+	}
+	tuple := make([]int32, len(ids))
+
+	var expand func(order []plan.NodeID, k int)
+	order := t.TopDown() // parents before children, driver first
+	expand = func(order []plan.NodeID, k int) {
+		if k == len(order) {
+			if !rc.ok(tuple) {
+				return
+			}
+			count++
+			checksum += checksumCanonical(tuple)
+			return
+		}
+		id := order[k]
+		parentRow := tuple[slot[t.Parent(id)]]
+		key := ds.Relation(t.Parent(id)).Column(ds.KeyColumn(id))[parentRow]
+		for _, row := range indexes[id][key] {
+			tuple[slot[id]] = row
+			expand(order, k+1)
+		}
+	}
+
+	driverRows := ds.Relation(plan.Root).NumRows()
+	driverMask := masks[plan.Root]
+	for i := 0; i < driverRows; i++ {
+		if driverMask != nil && !driverMask[i] {
+			continue
+		}
+		tuple[slot[plan.Root]] = int32(i)
+		expand(order[1:], 0)
+	}
+	return count, checksum
+}
+
+// checksumCanonical hashes a tuple already in canonical (ascending
+// NodeID) layout, identically to run.tupleChecksum.
+func checksumCanonical(rows []int32) uint64 {
+	var h uint64 = 1469598103934665603
+	for i, row := range rows {
+		h = h*1099511628211 + hashtable.Hash64(int64(i)<<32|int64(row))
+	}
+	return h
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// Cyclic queries are handled the standard way the paper describes
+// (Section 6 and footnote 1): a spanning tree of the join graph drives
+// optimization and execution, and the join conditions left out of the
+// tree become residual equality predicates applied to result tuples
+// before they are emitted. The optimality results of the cost model do
+// not extend to the residual edges — they are checked, not optimized.
+
+// Residual is one non-tree equi-join condition: relation A's column
+// equals relation B's column.
+type Residual struct {
+	RelA plan.NodeID
+	ColA string
+	RelB plan.NodeID
+	ColB string
+}
+
+// Validate checks the residual against a dataset.
+func (r Residual) Validate(ds *storage.Dataset) error {
+	for _, side := range []struct {
+		rel plan.NodeID
+		col string
+	}{{r.RelA, r.ColA}, {r.RelB, r.ColB}} {
+		if int(side.rel) < 0 || int(side.rel) >= ds.Tree.Len() {
+			return fmt.Errorf("residual references unknown relation %d", side.rel)
+		}
+		if !ds.Relation(side.rel).HasColumn(side.col) {
+			return fmt.Errorf("relation %q has no column %q",
+				ds.Relation(side.rel).Name(), side.col)
+		}
+	}
+	return nil
+}
+
+// residualChecker evaluates all residual predicates against a tuple in
+// canonical (ascending NodeID) layout.
+type residualChecker struct {
+	checks []func(rows []int32) bool
+}
+
+// newResidualChecker compiles the residual predicates; slot maps
+// NodeID to the canonical tuple position.
+func newResidualChecker(ds *storage.Dataset, residuals []Residual) *residualChecker {
+	if len(residuals) == 0 {
+		return nil
+	}
+	ids := append([]plan.NodeID{plan.Root}, ds.Tree.NonRoot()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slot := make(map[plan.NodeID]int, len(ids))
+	for i, id := range ids {
+		slot[id] = i
+	}
+	rc := &residualChecker{}
+	for _, r := range residuals {
+		colA := ds.Relation(r.RelA).Column(r.ColA)
+		colB := ds.Relation(r.RelB).Column(r.ColB)
+		sa, sb := slot[r.RelA], slot[r.RelB]
+		rc.checks = append(rc.checks, func(rows []int32) bool {
+			return colA[rows[sa]] == colB[rows[sb]]
+		})
+	}
+	return rc
+}
+
+// ok reports whether the canonical tuple passes every residual.
+func (rc *residualChecker) ok(rows []int32) bool {
+	if rc == nil {
+		return true
+	}
+	for _, check := range rc.checks {
+		if !check(rows) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// selectableDataset builds a small dataset whose relations carry a
+// low-cardinality "cat" column suitable for equality selections.
+func selectableDataset(rng *rand.Rand, driverRows int) *storage.Dataset {
+	tr := plan.NewTree("R1")
+	a := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.8, Fo: 3}, "R2")
+	tr.AddChild(a, plan.EdgeStats{M: 0.7, Fo: 2}, "R3")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.6, Fo: 2}, "R4")
+
+	r1 := storage.NewRelation("R1", "id", "cat", "k1", "k3")
+	var key int64
+	type childRow struct{ key, cat int64 }
+	var r2rows, r4rows []childRow
+	var r3rows []childRow
+	for i := 0; i < driverRows; i++ {
+		k1, k3 := key, key+1
+		key += 2
+		r1.AppendRow(int64(i), int64(i%4), k1, k3)
+		if rng.Float64() < 0.8 {
+			n := 1 + rng.Intn(4)
+			for j := 0; j < n; j++ {
+				r2rows = append(r2rows, childRow{k1, rng.Int63n(4)})
+			}
+		}
+		if rng.Float64() < 0.6 {
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				r4rows = append(r4rows, childRow{k3, rng.Int63n(4)})
+			}
+		}
+	}
+	r2 := storage.NewRelation("R2", "id", "cat", "k1", "k2")
+	for i, row := range r2rows {
+		k2 := key
+		key++
+		r2.AppendRow(int64(i), row.cat, row.key, k2)
+		if rng.Float64() < 0.7 {
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				r3rows = append(r3rows, childRow{k2, rng.Int63n(4)})
+			}
+		}
+	}
+	r3 := storage.NewRelation("R3", "id", "cat", "k2")
+	for i, row := range r3rows {
+		r3.AppendRow(int64(i), row.cat, row.key)
+	}
+	r4 := storage.NewRelation("R4", "id", "cat", "k3")
+	for i, row := range r4rows {
+		r4.AppendRow(int64(i), row.cat, row.key)
+	}
+
+	ds := storage.NewDataset(tr)
+	ds.SetRelation(plan.Root, r1, "")
+	ds.SetRelation(1, r2, "k1")
+	ds.SetRelation(2, r3, "k2")
+	ds.SetRelation(3, r4, "k3")
+	return ds
+}
+
+// TestSelectionsAllStrategies: pushed-down selections must produce the
+// oracle's filtered result under every strategy.
+func TestSelectionsAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ds := selectableDataset(rng, 200)
+	selections := []Selection{
+		{Rel: plan.Root, Column: "cat", Value: 1},
+		{Rel: 1, Column: "cat", Value: 2},
+		{Rel: 3, Column: "cat", Value: 0},
+	}
+	want, wantSum := ReferenceOpts(ds, nil, selections)
+	if want == 0 {
+		t.Fatal("degenerate test: empty filtered result")
+	}
+	order := plan.Order{1, 2, 3}
+	for _, s := range cost.AllStrategies {
+		stats, err := Run(ds, Options{
+			Strategy: s, Order: order, FlatOutput: true, Selections: selections,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if stats.OutputTuples != want {
+			t.Fatalf("%v: %d tuples, want %d", s, stats.OutputTuples, want)
+		}
+		if stats.Checksum != wantSum {
+			t.Fatalf("%v: checksum mismatch", s)
+		}
+	}
+}
+
+// TestSelectionReducesWork: a selective predicate on the driver must
+// cut hash probes roughly proportionally.
+func TestSelectionReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ds := selectableDataset(rng, 2000)
+	order := plan.Order{1, 2, 3}
+	full, err := Run(ds, Options{Strategy: cost.COM, Order: order, FlatOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Run(ds, Options{
+		Strategy: cost.COM, Order: order, FlatOutput: true,
+		Selections: []Selection{{Rel: plan.Root, Column: "cat", Value: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cat has 4 values; expect roughly a quarter of the probes.
+	if float64(sel.HashProbes) > 0.4*float64(full.HashProbes) {
+		t.Errorf("selection barely reduced probes: %d vs %d", sel.HashProbes, full.HashProbes)
+	}
+}
+
+// TestSelectionValidation: bad selections are rejected.
+func TestSelectionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	ds := selectableDataset(rng, 20)
+	for _, sel := range []Selection{
+		{Rel: 99, Column: "cat", Value: 1},
+		{Rel: 1, Column: "nope", Value: 1},
+	} {
+		if _, err := Run(ds, Options{
+			Strategy: cost.COM, Order: plan.Order{1, 2, 3},
+			FlatOutput: true, Selections: []Selection{sel},
+		}); err == nil {
+			t.Errorf("selection %+v accepted", sel)
+		}
+	}
+}
+
+// TestMultipleSelectionsSameRelation: predicates on the same relation
+// intersect.
+func TestMultipleSelectionsSameRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	ds := selectableDataset(rng, 100)
+	// cat = 1 AND cat = 2 is unsatisfiable: empty result.
+	stats, err := Run(ds, Options{
+		Strategy: cost.COM, Order: plan.Order{1, 2, 3}, FlatOutput: true,
+		Selections: []Selection{
+			{Rel: plan.Root, Column: "cat", Value: 1},
+			{Rel: plan.Root, Column: "cat", Value: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OutputTuples != 0 {
+		t.Errorf("contradictory selections produced %d tuples", stats.OutputTuples)
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// This file implements the semi-join full-reduction pass of the SJ
+// strategies (Sections 2.2, 4.5): a single bottom-up sweep in which
+// every parent is semi-joined with its already-reduced children,
+// leaves' parents first, ending with the driver. The hash tables built
+// for the semi-joins are the same tables the phase-2 joins probe, so
+// the pass adds no extra build cost — the paper's "more efficient
+// variation" of the Yannakakis algorithm.
+
+// semiJoinPass reduces all relations bottom-up and leaves behind:
+// r.tables (hash tables over the reduced relations) and r.driverLive
+// (the fully reduced driver mask).
+func (r *run) semiJoinPass() {
+	t := r.ds.Tree
+	r.tables = make(map[plan.NodeID]*hashtable.Table, t.Len()-1)
+
+	for _, p := range t.BottomUp() {
+		children := r.semiJoinOrder(p)
+		rel := r.ds.Relation(p)
+		// Start from the pushed-down selection mask, if any.
+		mask := r.baseMasks[p]
+		if len(children) > 0 {
+			if mask == nil {
+				mask = storage.NewBitmap(rel.NumRows())
+			} else {
+				mask = append(storage.Bitmap(nil), mask...)
+			}
+			for _, c := range children {
+				keyCol := rel.Column(r.ds.KeyColumn(c))
+				table := r.tables[c]
+				for row := range mask {
+					if !mask[row] {
+						continue
+					}
+					r.stats.SemiJoinProbes++
+					if !table.Contains(keyCol[row]) {
+						mask[row] = false
+					}
+				}
+			}
+		}
+		if p != plan.Root {
+			// Build the (reduced) hash table used both by later
+			// semi-joins from p's parent and by the phase-2 join.
+			r.tables[p] = hashtable.Build(rel, r.ds.KeyColumn(p), mask)
+		} else {
+			r.driverLive = mask
+		}
+	}
+}
+
+// semiJoinOrder returns the order in which p's children are probed in
+// phase 1: the caller-provided order when given (SJOptimal sorts by
+// increasing adjusted match probability), ascending NodeID otherwise.
+func (r *run) semiJoinOrder(p plan.NodeID) []plan.NodeID {
+	if r.opts.SemiJoins != nil {
+		if o, ok := r.opts.SemiJoins[p]; ok {
+			return o
+		}
+	}
+	return append([]plan.NodeID(nil), r.ds.Tree.Children(p)...)
+}

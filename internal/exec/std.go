@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"m2mjoin/internal/plan"
+)
+
+// This file implements the STD pipeline (and its BVP/SJ variants):
+// every join fully materializes the flat intermediate result before
+// the next join runs, so each intermediate tuple probes every
+// subsequent operator — including the redundant probes on ancestor
+// attributes that the paper's cost model charges it for.
+
+// flatChunk is a fully materialized intermediate result: one column of
+// base-relation row indices per joined relation, in join order
+// (column 0 is the driver).
+type flatChunk struct {
+	ids  []plan.NodeID // relation per column
+	cols [][]int32     // equal lengths: one row per intermediate tuple
+}
+
+func (f *flatChunk) rows() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return len(f.cols[0])
+}
+
+func (f *flatChunk) colOf(id plan.NodeID) []int32 {
+	for i, x := range f.ids {
+		if x == id {
+			return f.cols[i]
+		}
+	}
+	panic("exec: flatChunk missing relation column")
+}
+
+// runSTD executes the standard pipeline chunk-at-a-time.
+func (r *run) runSTD() {
+	useBVP := r.filters != nil
+	r.driverChunks(func(driverRows []int32) {
+		f := &flatChunk{
+			ids:  []plan.NodeID{plan.Root},
+			cols: [][]int32{append([]int32(nil), driverRows...)},
+		}
+		joined := map[plan.NodeID]bool{plan.Root: true}
+		if useBVP {
+			r.applyFiltersSTD(f, plan.Root, joined)
+		}
+		for _, next := range r.opts.Order {
+			f = r.joinSTD(f, next)
+			joined[next] = true
+			if useBVP {
+				r.applyFiltersSTD(f, next, joined)
+			}
+			if f.rows() == 0 {
+				break
+			}
+		}
+		if f.rows() > 0 && len(f.ids) == r.ds.Tree.Len() {
+			tuple := make([]int32, len(f.ids))
+			for i := 0; i < f.rows(); i++ {
+				for c := range f.cols {
+					tuple[c] = f.cols[c][i]
+				}
+				if r.emitTuple(tuple) {
+					r.stats.OutputTuples++
+				}
+			}
+		}
+	})
+}
+
+// joinSTD probes every intermediate tuple into next's hash table and
+// materializes the expanded result.
+func (r *run) joinSTD(f *flatChunk, next plan.NodeID) *flatChunk {
+	parent := r.ds.Tree.Parent(next)
+	parentRel := r.ds.Relation(parent)
+	keyCol := parentRel.Column(r.ds.KeyColumn(next))
+	parentRows := f.colOf(parent)
+	table := r.tables[next]
+
+	n := f.rows()
+	keys := make([]int64, n)
+	for i, row := range parentRows {
+		keys[i] = keyCol[row]
+	}
+	res := table.ProbeBatch(keys, nil)
+	r.stats.HashProbes += int64(res.Probed)
+	r.stats.PerRelationProbes[next] += int64(res.Probed)
+
+	out := &flatChunk{
+		ids:  append(append([]plan.NodeID(nil), f.ids...), next),
+		cols: make([][]int32, len(f.ids)+1),
+	}
+	total := len(res.Rows)
+	for c := range f.cols {
+		col := make([]int32, 0, total)
+		for i := 0; i < n; i++ {
+			v := f.cols[c][i]
+			for k := res.Offsets[i]; k < res.Offsets[i+1]; k++ {
+				col = append(col, v)
+			}
+		}
+		out.cols[c] = col
+	}
+	out.cols[len(f.ids)] = res.Rows
+	r.stats.IntermediateTuples += int64(total)
+	return out
+}
+
+// applyFiltersSTD applies the bitvectors of at's unjoined children to
+// the flat chunk, compacting pruned tuples away. Each surviving tuple
+// is probed against each filter in ascending child order.
+func (r *run) applyFiltersSTD(f *flatChunk, at plan.NodeID, joined map[plan.NodeID]bool) {
+	rel := r.ds.Relation(at)
+	atRows := f.colOf(at)
+	for _, c := range r.unjoinedChildren(at, joined) {
+		filter := r.filters[c]
+		keyCol := rel.Column(r.ds.KeyColumn(c))
+		keep := make([]bool, len(atRows))
+		kept := 0
+		for i, row := range atRows {
+			r.stats.FilterProbes++
+			if filter.MayContain(keyCol[row]) {
+				keep[i] = true
+				kept++
+			}
+		}
+		if kept == len(atRows) {
+			continue
+		}
+		for ci := range f.cols {
+			col := f.cols[ci][:0]
+			for i, k := range keep {
+				if k {
+					col = append(col, f.cols[ci][i])
+				}
+			}
+			f.cols[ci] = col
+		}
+		atRows = f.colOf(at)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+// Fig14 reproduces the cost-model validation of Section 5.5: for
+// synthetic queries of the four shapes, execute many randomly chosen
+// join orders and compare the model's predicted cost (weighted probes
+// per driver tuple, from measured statistics) against both the actual
+// wall-clock time and the actually counted weighted probes. The paper
+// reports a tight scatter; we report, per query, the Pearson
+// correlation between predicted cost and execution time, and the mean
+// absolute relative error between predicted and counted probes.
+func Fig14(scale Scale, seed int64) *Table {
+	driverRows := 50000
+	ordersPer := 60
+	foHi := 5.0
+	repeats := 3
+	shapeSet := shapes
+	if scale == Quick {
+		driverRows = 25000
+		ordersPer = 10
+		foHi = 3
+		repeats = 2
+		shapeSet = quickShapes[:2]
+	}
+	budget := budgetFor(scale)
+
+	t := &Table{
+		Title:  "Fig 14: predicted cost vs actual execution (random orders, STD and COM mixed)",
+		Header: []string{"query", "runs", "corr(pred, time)", "corr(pred, probes)", "mean |probe err|", "max |probe err|"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, sh := range shapeSet {
+		tr := sh.build(plan.UniformStats(rng, 0.2, 0.7, 1, foHi))
+		ds := workload.Generate(tr, workload.Config{DriverRows: driverRows, Seed: rng.Int63()})
+		model := cost.New(workload.MeasuredTree(ds), cost.DefaultWeights())
+
+		// The validation population mixes strategies and random orders,
+		// spanning a wide cost range as in the paper's 300-order scatter.
+		var preds, times, weights, errs []float64
+		for i := 0; i < ordersPer; i++ {
+			order := randomOrder(tr, rng)
+			for _, s := range []cost.Strategy{cost.COM, cost.STD} {
+				// Best-of-n timing suppresses scheduler noise on the
+				// millisecond-scale quick runs.
+				var m measured
+				for rep := 0; rep < repeats; rep++ {
+					r := runStrategy(ds, model, s, order, true, budget)
+					if r.timedOut {
+						m = r
+						break
+					}
+					if rep == 0 || r.elapsed < m.elapsed {
+						m = r
+					}
+				}
+				if m.timedOut {
+					continue
+				}
+				pred := model.Cost(s, order, true).Total * float64(driverRows)
+				preds = append(preds, pred)
+				times = append(times, float64(m.elapsed))
+				weights = append(weights, m.weighted)
+				errs = append(errs, math.Abs(m.weighted-pred)/math.Max(pred, 1))
+			}
+		}
+		if len(preds) < 3 {
+			t.Rows = append(t.Rows, []string{sh.name, "0", "n/a", "n/a", "n/a", "n/a"})
+			continue
+		}
+		meanErr, maxErr := 0.0, 0.0
+		for _, e := range errs {
+			meanErr += e
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		meanErr /= float64(len(errs))
+		t.Rows = append(t.Rows, []string{
+			sh.name,
+			fmt.Sprintf("%d", len(preds)),
+			fmtF(pearson(preds, times)),
+			fmtF(pearson(preds, weights)),
+			fmt.Sprintf("%.1f%%", 100*meanErr),
+			fmt.Sprintf("%.1f%%", 100*maxErr),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"probe err compares the model's weighted probe prediction with the executor's counted probes",
+		"paper: predicted costs align tightly with execution times across shapes and orders")
+	return t
+}
+
+// pearson returns the Pearson correlation coefficient of two samples.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

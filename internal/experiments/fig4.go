@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"m2mjoin/internal/stats"
+	"m2mjoin/internal/storage"
+)
+
+// Fig4 reproduces the sampling-effectiveness study of Section 3.2:
+// random two-relation joins with random equality predicates over
+// correlated DBLP-like tables, comparing the naive distinct-count
+// estimator against correlated sampling at 0.1%, 0.5% and 1% rates.
+// Average Q-errors are reported separately for match probability and
+// fanout, split into low (m < 0.05) and high match-probability
+// queries, matching the paper's grouping.
+//
+// Substitution note: the real DBLP tables of the CE benchmark are not
+// available offline; the generated tables reproduce the relevant
+// structure — a skewed join key with predicate columns correlated to
+// it — so the naive estimator's independence assumption fails the same
+// way. Zero-match sample estimates are smoothed with the rule of
+// succession (m ~ 1/(q+2) for q qualifying samples), the standard
+// guard against unbounded Q-errors on rare predicates.
+func Fig4(scale Scale, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	nR, domain := 400000, 40000
+	queries := 120
+	if scale == Quick {
+		nR, domain, queries = 120000, 12000, 60
+	}
+
+	r, s := dblpLikePair(rng, nR, domain)
+	naive := stats.NewNaive(r, s, "b")
+	rates := []float64{0.001, 0.005, 0.01}
+	samples := make([]*stats.CorrelatedSample, len(rates))
+	for i, rate := range rates {
+		samples[i] = stats.BuildCorrelatedSample(rng, r, s, "b", rate)
+	}
+
+	type agg struct {
+		mErr, foErr float64
+		n           int
+	}
+	methods := []string{"Naive", "0.1%", "0.5%", "1%"}
+	acc := make([]map[bool]*agg, len(methods))
+	for i := range acc {
+		acc[i] = map[bool]*agg{false: {}, true: {}}
+	}
+
+	evaluated := 0
+	for evaluated < queries {
+		pR := &stats.Predicate{Column: "a", Value: rng.Int63n(aCardinality)}
+		pS := &stats.Predicate{Column: "c", Value: rng.Int63n(cCardinality)}
+		truth := stats.GroundTruth(r, s, "b", pR, pS)
+		if truth.M == 0 {
+			continue
+		}
+		low := truth.M < 0.05
+		evaluated++
+
+		nEst := naive.Estimate(pS.Selectivity(s))
+		a := acc[0][low]
+		a.mErr += stats.QError(nEst.M, truth.M)
+		a.foErr += stats.QError(nEst.Fo, truth.Fo)
+		a.n++
+
+		for i, cs := range samples {
+			d, ok := cs.EstimateDetail(pR, pS)
+			est := d.Stats
+			switch {
+			case !ok:
+				est = nEst // empty sample: fall back to naive
+			case d.Matched == 0:
+				// Rule-of-succession smoothing for zero-match samples.
+				est.M = 1.0 / float64(d.Qualifying+2)
+				est.Fo = nEst.Fo
+			}
+			a := acc[i+1][low]
+			a.mErr += stats.QError(est.M, truth.M)
+			a.foErr += stats.QError(est.Fo, truth.Fo)
+			a.n++
+		}
+	}
+
+	t := &Table{
+		Title:  "Fig 4: average Q-error of match probability / fanout estimation",
+		Header: []string{"method", "m range", "avg Q-err (m)", "avg Q-err (fo)", "queries"},
+	}
+	for _, low := range []bool{true, false} {
+		rangeName := "m < 0.05"
+		if !low {
+			rangeName = "m > 0.05"
+		}
+		for i, name := range methods {
+			a := acc[i][low]
+			if a.n == 0 {
+				t.Rows = append(t.Rows, []string{name, rangeName, "n/a", "n/a", "0"})
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				name, rangeName,
+				fmtF(a.mErr / float64(a.n)),
+				fmtF(a.foErr / float64(a.n)),
+				fmt.Sprintf("%d", a.n),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: naive degrades sharply for low-m queries; even 0.1% samples stay near Q-error 1-2")
+	return t
+}
+
+const (
+	aCardinality = 12
+	cCardinality = 9
+)
+
+// dblpLikePair builds R(b, a) and S(b, c): join key b zipf-skewed;
+// predicate columns are correlated with the key but noisy (venue and
+// author community track each other imperfectly), so independence-
+// based estimation misjudges predicate-conditioned match
+// probabilities while sampling still sees the correlation.
+func dblpLikePair(rng *rand.Rand, nR, domain int) (*storage.Relation, *storage.Relation) {
+	r := storage.NewRelation("R", "b", "a")
+	s := storage.NewRelation("S", "b", "c")
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(domain-1))
+	for i := 0; i < nR; i++ {
+		b := int64(zipf.Uint64())
+		a := (b + rng.Int63n(3)) % aCardinality // correlated with noise
+		r.AppendRow(b, a)
+	}
+	// S: two thirds of the domain participates; fanout grows with the
+	// key's residue and repeats c values so conditional fanouts exceed 1.
+	for b := int64(0); b < int64(domain); b++ {
+		if b%3 == 2 {
+			continue
+		}
+		fan := 1 + int(b%6)
+		for j := 0; j < fan; j++ {
+			c := (b + int64(j/2) + rng.Int63n(2)) % cCardinality
+			s.AppendRow(b, c)
+		}
+	}
+	return r, s
+}

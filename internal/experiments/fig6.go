@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m2mjoin/internal/robust"
+)
+
+// Fig6 reproduces the cost-model robustness simulation of Section 3.7:
+// a 10-relation star query whose statistics are perturbed between
+// optimization and execution. For each (match-probability range,
+// fanout range, error range) cell it reports the mean percentage cost
+// difference between the plan chosen from perturbed statistics and the
+// true best plan, under the selectivity-based cost model and under the
+// match-probability (COM) cost model.
+func Fig6(scale Scale, seed int64) *Table {
+	relations := 11 // 10 dimensions + driver, as in the paper
+	samples := 100
+	if scale == Quick {
+		relations = 8
+		samples = 25
+	}
+
+	mRanges := []robust.StatRange{{Lo: 0.05, Hi: 0.2}, {Lo: 0.5, Hi: 0.9}}
+	foRanges := []robust.StatRange{{Lo: 1, Hi: 2}, {Lo: 1, Hi: 10}, {Lo: 10, Hi: 100}}
+	errRanges := []robust.StatRange{{Lo: 0.15, Hi: 0.20}, {Lo: 0.90, Hi: 0.95}}
+
+	t := &Table{
+		Title: "Fig 6: % cost difference, estimated-best vs actual-best plan (10-rel star)",
+		Header: []string{"est. error", "m range", "fo range",
+			"mean % (selectivity model)", "mean % (match-prob model)"},
+	}
+	cell := 0
+	for _, er := range errRanges {
+		for _, mr := range mRanges {
+			for _, fr := range foRanges {
+				cell++
+				res := robust.Perturb(robust.PerturbConfig{
+					Relations: relations,
+					MRange:    mr,
+					FoRange:   fr,
+					ErrRange:  er,
+					Samples:   samples,
+					Seed:      seed + int64(cell),
+				})
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("[%.2f-%.2f]", er.Lo, er.Hi),
+					fmt.Sprintf("[%.2f-%.2f]", mr.Lo, mr.Hi),
+					fmt.Sprintf("[%g-%g]", fr.Lo, fr.Hi),
+					fmtF(res.MeanPctSTD),
+					fmtF(res.MeanPctCOM),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: the match-probability model is consistently more robust; the gap widens with error and fanout",
+		"paper: at fo in [1-2] both models behave similarly (s is within 2x of m)")
+	return t
+}

@@ -1,0 +1,280 @@
+// Package factor implements the factorized intermediate result
+// representation of the paper's COM execution model (Section 4.2-4.3,
+// Fig. 8): per joined relation, a node holding the matching base-table
+// rows, a count vector-column aligned one-to-one with the parent
+// node's rows, its prefix sum, and a liveness (selection) bitmap.
+//
+// The representation corresponds to an f-representation rooted at the
+// driver relation, working at the level of tuples rather than
+// attributes (Section 4.6). Killing a row — because a later join found
+// no match — propagates upward (a parent row dies when one of its
+// child segments has no survivor) and downward (descendant rows of a
+// dead row can never contribute to output), which is what makes probes
+// on ancestor attributes "survival probes".
+package factor
+
+import (
+	"fmt"
+
+	"m2mjoin/internal/plan"
+)
+
+// Node is the factorized vector of one relation within a Chunk.
+type Node struct {
+	ID       plan.NodeID
+	Parent   *Node
+	Children []*Node
+
+	// Rows are base-relation row indices, grouped by parent row.
+	Rows []int32
+	// ParentRow[i] is the index (into Parent.Rows) of the parent row
+	// that row i was matched for. Nil for the driver node.
+	ParentRow []int32
+	// Counts[p] is the number of matches for parent row p; Offsets is
+	// its exclusive prefix sum (len(Parent.Rows)+1). Nil for the driver.
+	Counts  []int32
+	Offsets []int32
+
+	// Live marks rows that can still contribute to an output tuple.
+	Live      []bool
+	LiveCount int
+}
+
+// Segment returns the half-open row range of node rows belonging to
+// parent row p.
+func (n *Node) Segment(p int) (int, int) {
+	return int(n.Offsets[p]), int(n.Offsets[p+1])
+}
+
+// Chunk is the factorized intermediate result for one batch of driver
+// tuples.
+type Chunk struct {
+	nodes map[plan.NodeID]*Node
+	order []plan.NodeID // join order; order[0] is the driver
+	// noPropagation disables bidirectional kill propagation (ablation
+	// mode; see SetPropagation).
+	noPropagation bool
+}
+
+// NewChunk creates a factorized chunk holding the given driver rows
+// (base-relation row indices of the driver batch).
+func NewChunk(driverRows []int32) *Chunk {
+	n := &Node{
+		ID:        plan.Root,
+		Rows:      driverRows,
+		Live:      make([]bool, len(driverRows)),
+		LiveCount: len(driverRows),
+	}
+	for i := range n.Live {
+		n.Live[i] = true
+	}
+	return &Chunk{
+		nodes: map[plan.NodeID]*Node{plan.Root: n},
+		order: []plan.NodeID{plan.Root},
+	}
+}
+
+// Node returns the factor node for relation id; nil if not joined yet.
+func (c *Chunk) Node(id plan.NodeID) *Node { return c.nodes[id] }
+
+// Driver returns the driver node.
+func (c *Chunk) Driver() *Node { return c.nodes[plan.Root] }
+
+// Order returns the relations in join order (driver first). The
+// returned slice must not be modified.
+func (c *Chunk) Order() []plan.NodeID { return c.order }
+
+// AddJoin appends the result of joining parent relation parentID with
+// relation id: counts[p] matches for each parent row p (aligned with
+// the parent node's Rows), and rows holding the concatenated matching
+// base rows. Parent rows with zero matches are killed, propagating in
+// both directions. Dead parent rows must have been skipped during the
+// probe, i.e. counts[p] must be 0 wherever the parent row is dead.
+func (c *Chunk) AddJoin(parentID, id plan.NodeID, counts, rows []int32) *Node {
+	parent := c.nodes[parentID]
+	if parent == nil {
+		panic(fmt.Sprintf("factor: AddJoin: parent %d not in chunk", parentID))
+	}
+	if len(counts) != len(parent.Rows) {
+		panic(fmt.Sprintf("factor: AddJoin: %d counts for %d parent rows", len(counts), len(parent.Rows)))
+	}
+	if _, dup := c.nodes[id]; dup {
+		panic(fmt.Sprintf("factor: AddJoin: relation %d already joined", id))
+	}
+	n := &Node{
+		ID:        id,
+		Parent:    parent,
+		Rows:      rows,
+		ParentRow: make([]int32, len(rows)),
+		Counts:    counts,
+		Offsets:   make([]int32, len(counts)+1),
+		Live:      make([]bool, len(rows)),
+		LiveCount: len(rows),
+	}
+	var off int32
+	for p, cnt := range counts {
+		n.Offsets[p] = off
+		for j := off; j < off+cnt; j++ {
+			n.ParentRow[j] = int32(p)
+			n.Live[j] = true
+		}
+		off += cnt
+	}
+	n.Offsets[len(counts)] = off
+	if int(off) != len(rows) {
+		panic(fmt.Sprintf("factor: AddJoin: counts sum %d != rows %d", off, len(rows)))
+	}
+	parent.Children = append(parent.Children, n)
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+
+	// A live parent row with no matches dies now.
+	for p := range counts {
+		if counts[p] == 0 && parent.Live[p] {
+			c.Kill(parent, p)
+		}
+	}
+	return n
+}
+
+// Kill marks row i of node n dead and propagates: downward, every
+// descendant row under i dies; upward, the parent row dies if i was
+// its last live row in n. With propagation disabled (SetPropagation),
+// only the row itself is marked.
+func (c *Chunk) Kill(n *Node, i int) {
+	if !n.Live[i] {
+		return
+	}
+	n.Live[i] = false
+	n.LiveCount--
+	if c.noPropagation {
+		return
+	}
+	for _, child := range n.Children {
+		lo, hi := child.Segment(i)
+		for j := lo; j < hi; j++ {
+			c.Kill(child, j)
+		}
+	}
+	if n.Parent != nil {
+		p := int(n.ParentRow[i])
+		if n.Parent.Live[p] && !c.anyLiveInSegment(n, p) {
+			c.Kill(n.Parent, p)
+		}
+	}
+}
+
+func (c *Chunk) anyLiveInSegment(n *Node, p int) bool {
+	lo, hi := n.Segment(p)
+	for j := lo; j < hi; j++ {
+		if n.Live[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// FactorizedSize returns the total number of live rows across all
+// nodes: the size of the factorized (compressed) output.
+func (c *Chunk) FactorizedSize() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.LiveCount
+	}
+	return total
+}
+
+// Expand enumerates every flat output tuple in depth-first order
+// (Section 4.3, Fig. 9) and calls emit with, for each joined relation
+// in join order, the base-relation row index selected for that tuple.
+// The rows slice is reused across calls; emit must not retain it.
+// It returns the number of tuples emitted.
+func (c *Chunk) Expand(emit func(rows []int32)) int64 {
+	nodes := make([]*Node, len(c.order))
+	parentPos := make([]int, len(c.order)) // index into nodes of each node's parent
+	pos := map[plan.NodeID]int{}
+	for i, id := range c.order {
+		nodes[i] = c.nodes[id]
+		pos[id] = i
+		if i > 0 {
+			parentPos[i] = pos[nodes[i].Parent.ID]
+		}
+	}
+	current := make([]int32, len(nodes))  // chosen row position within each node
+	baseRows := make([]int32, len(nodes)) // chosen base-relation rows
+	var count int64
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(nodes) {
+			count++
+			if emit != nil {
+				emit(baseRows)
+			}
+			return
+		}
+		n := nodes[k]
+		if k == 0 {
+			for i, live := range n.Live {
+				if !live {
+					continue
+				}
+				current[0] = int32(i)
+				baseRows[0] = n.Rows[i]
+				rec(1)
+			}
+			return
+		}
+		p := int(current[parentPos[k]])
+		lo, hi := n.Segment(p)
+		for j := lo; j < hi; j++ {
+			if !n.Live[j] {
+				continue
+			}
+			current[k] = int32(j)
+			baseRows[k] = n.Rows[j]
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return count
+}
+
+// CountOutput returns the number of flat output tuples without
+// enumerating them: a bottom-up product-sum over the factor tree (the
+// sequential "counting" step the paper describes for breadth-first
+// expansion).
+func (c *Chunk) CountOutput() int64 {
+	// weight[node][row] = number of output combinations contributed by
+	// the subtree of `node` rooted at `row`.
+	weights := make(map[*Node][]int64, len(c.nodes))
+	// Process in reverse join order: children before parents is not
+	// guaranteed by join order reversal alone (a child is always joined
+	// after its parent, so reverse order sees children first).
+	for i := len(c.order) - 1; i >= 0; i-- {
+		n := c.nodes[c.order[i]]
+		w := make([]int64, len(n.Rows))
+		for r := range n.Rows {
+			if !n.Live[r] {
+				continue
+			}
+			prod := int64(1)
+			for _, child := range n.Children {
+				cw := weights[child]
+				lo, hi := child.Segment(r)
+				var sum int64
+				for j := lo; j < hi; j++ {
+					sum += cw[j]
+				}
+				prod *= sum
+			}
+			w[r] = prod
+		}
+		weights[n] = w
+	}
+	var total int64
+	for _, v := range weights[c.Driver()] {
+		total += v
+	}
+	return total
+}

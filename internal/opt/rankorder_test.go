@@ -1,0 +1,110 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+)
+
+// TestRankOrderOptimalSTDMatchesDP: the Ibaraki-Kameda module-merging
+// algorithm must find exactly the optimal STD cost on random trees —
+// the classical optimality result the paper's Section 2.1 cites.
+func TestRankOrderOptimalSTDMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 100; trial++ {
+		tr := plan.RandomTree(2+rng.Intn(8), rng,
+			plan.UniformStats(rng, 0.05, 0.95, 1, 10))
+		model := cost.New(tr, cost.DefaultWeights())
+		ik := RankOrderOptimalSTD(model)
+		dp := ExhaustiveDP(model, cost.STD)
+		if !ik.Order.Valid(tr) {
+			t.Fatalf("IK produced invalid order %v on %v", ik.Order, tr)
+		}
+		if !almostEqual(ik.Cost.Total, dp.Cost.Total) {
+			t.Fatalf("IK cost %v != DP cost %v on %v (IK order %v, DP order %v)",
+				ik.Cost.Total, dp.Cost.Total, tr, ik.Order, dp.Order)
+		}
+	}
+}
+
+// TestRankOrderOptimalSTDNotOptimalForCOM: on trees where the ASI
+// counterexample structure appears, the STD-optimal order should cost
+// more than the COM optimum under the COM model — demonstrating the
+// paper's core point that the classical optimizer is the wrong tool
+// once redundant probes are avoided.
+func TestRankOrderOptimalSTDNotOptimalForCOM(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	worse := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		tr := plan.RandomTree(6+rng.Intn(5), rng,
+			plan.UniformStats(rng, 0.05, 0.5, 2, 10))
+		model := cost.New(tr, cost.DefaultWeights())
+		ik := RankOrderOptimalSTD(model)
+		comOpt := ExhaustiveDP(model, cost.COM)
+		ikUnderCOM := model.Cost(cost.COM, ik.Order, true)
+		if ikUnderCOM.Total > comOpt.Cost.Total*(1+1e-9) {
+			worse++
+		}
+		if ikUnderCOM.Total < comOpt.Cost.Total*(1-1e-9) {
+			t.Fatalf("order beat the exhaustive COM optimum: impossible")
+		}
+	}
+	if worse < trials/3 {
+		t.Errorf("STD-optimal orders were COM-suboptimal in only %d/%d trials", worse, trials)
+	}
+}
+
+// TestRankOrderPrecedenceChainMerging: a hand-crafted case where the
+// naive frontier greedy fails but module merging succeeds: a chain
+// whose first element is expensive (high s) but hides a very selective
+// element behind it.
+func TestRankOrderPrecedenceChainMerging(t *testing.T) {
+	tr := plan.NewTree("R1")
+	// Chain A: s=5 then s=0.01: the pair's combined rank makes it worth
+	// running before the standalone s=0.9 relation.
+	a1 := tr.AddChild(plan.Root, plan.EdgeStats{M: 1, Fo: 5}, "A1")
+	a2 := tr.AddChild(a1, plan.EdgeStats{M: 0.01, Fo: 1}, "A2")
+	b := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.9, Fo: 1}, "B")
+	model := cost.New(tr, cost.DefaultWeights())
+	got := RankOrderOptimalSTD(model)
+
+	// Check against the brute-force best.
+	best := ExhaustiveDP(model, cost.STD)
+	if !almostEqual(got.Cost.Total, best.Cost.Total) {
+		t.Fatalf("module merging missed the optimum: %v vs %v (order %v)",
+			got.Cost.Total, best.Cost.Total, got.Order)
+	}
+	// The optimal order runs the A-chain as a glued module before B:
+	// cost(A1,A2,B) = 1 + 5 + 0.25 vs cost(B,A1,A2) = 1 + 0.9 + 4.5.
+	want := plan.Order{a1, a2, b}
+	for i := range want {
+		if got.Order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got.Order, want)
+		}
+	}
+}
+
+// TestRankOrderPrecedencePanicsOnOpenSet: the job set must be closed
+// under parents.
+func TestRankOrderPrecedencePanicsOnOpenSet(t *testing.T) {
+	tr := plan.NewTree("R1")
+	a := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "A")
+	leaf := tr.AddChild(a, plan.EdgeStats{M: 0.5, Fo: 2}, "L")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	rankOrderPrecedence([]rankJob{{id: leaf, c: 1, s: 1}}, tr.Parent)
+}
+
+// TestRankOrderPrecedenceEmpty: no jobs, no order.
+func TestRankOrderPrecedenceEmpty(t *testing.T) {
+	tr := plan.NewTree("R1")
+	if got := rankOrderPrecedence(nil, tr.Parent); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,285 @@
+// Package stats implements the match-probability and fanout estimation
+// techniques of Section 3.2: the naive estimator based on distinct
+// value counts under uniformity and independence, and the correlated
+// sampling estimator that captures correlations between predicates and
+// join participation. Both produce the (m, fo) pair the cost model
+// consumes, and the package provides the Q-error metric used to
+// compare them (Fig. 4).
+package stats
+
+import (
+	"math"
+	"math/rand"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// Predicate is an equality filter on one column (the paper's randomly
+// chosen predicates are categorical equality predicates). A nil
+// Predicate matches everything.
+type Predicate struct {
+	Column string
+	Value  int64
+}
+
+// Matches reports whether row of rel passes the predicate.
+func (p *Predicate) Matches(rel *storage.Relation, row int) bool {
+	if p == nil {
+		return true
+	}
+	return rel.Column(p.Column)[row] == p.Value
+}
+
+// Selectivity returns the fraction of rel's rows passing the predicate.
+func (p *Predicate) Selectivity(rel *storage.Relation) float64 {
+	if p == nil {
+		return 1
+	}
+	n := rel.NumRows()
+	if n == 0 {
+		return 0
+	}
+	match := 0
+	col := rel.Column(p.Column)
+	for _, v := range col {
+		if v == p.Value {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+// distinctCount returns V(col, rel): the number of distinct values.
+func distinctCount(rel *storage.Relation, column string) int {
+	col := rel.Column(column)
+	seen := make(map[int64]struct{}, len(col))
+	for _, v := range col {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Naive estimates (m, fo) for R join_A S (probing from R into S) from
+// the textbook uniformity/independence statistics:
+//
+//	m  = V(A,S) / max(V(A,R), V(A,S))
+//	fo = |S| / V(A,S)
+//
+// with the Section 3.2 predicate adjustment: a predicate on S with
+// selectivity sp scales the fanout, unless sp*|S| < V(A,S), in which
+// case fo = 1 and m = min(sp*|S| / V(A,R), 1).
+type Naive struct {
+	vR, vS int
+	sRows  int
+}
+
+// NewNaive precomputes the distinct counts for the join column.
+func NewNaive(r, s *storage.Relation, joinColumn string) *Naive {
+	return &Naive{
+		vR:    distinctCount(r, joinColumn),
+		vS:    distinctCount(s, joinColumn),
+		sRows: s.NumRows(),
+	}
+}
+
+// Estimate returns the naive (m, fo) estimate given the selectivity of
+// a predicate on the probed relation S (1 for no predicate).
+func (n *Naive) Estimate(predSelS float64) plan.EdgeStats {
+	if n.vS == 0 || n.sRows == 0 {
+		return plan.EdgeStats{M: 0, Fo: 1}
+	}
+	maxV := float64(n.vR)
+	if n.vS > n.vR {
+		maxV = float64(n.vS)
+	}
+	m := float64(n.vS) / maxV
+	fo := float64(n.sRows) / float64(n.vS)
+	if predSelS < 1 {
+		if predSelS*float64(n.sRows) < float64(n.vS) {
+			fo = 1
+			m = math.Min(predSelS*float64(n.sRows)/float64(n.vR), 1)
+		} else {
+			fo *= predSelS
+		}
+	}
+	if fo < 1 {
+		fo = 1
+	}
+	return plan.EdgeStats{M: m, Fo: fo}
+}
+
+// sampleEntry records one sampled R tuple: its row, the total number
+// of matches it has in S, and a uniform sample of those match rows.
+type sampleEntry struct {
+	rRow       int32
+	matchCount int64
+	matchRows  []int32 // reservoir sample of matching S rows
+}
+
+// CorrelatedSample is the adapted correlated-sampling estimator of
+// Section 3.2: a uniform sample of R, where each sampled tuple carries
+// its match count in S and a uniform sample of its matches. It answers
+// (m, fo) estimates for queries of the form
+// sigma_{pR(R) and pS(S)}(R join S) with appropriate scaling.
+type CorrelatedSample struct {
+	r, s    *storage.Relation
+	entries []sampleEntry
+}
+
+// maxMatchReservoir caps the per-tuple match sample.
+const maxMatchReservoir = 16
+
+// BuildCorrelatedSample samples each R row with probability rate and
+// records, for each sampled row, its match count in S on joinColumn
+// plus a reservoir sample of the matching S rows.
+func BuildCorrelatedSample(rng *rand.Rand, r, s *storage.Relation, joinColumn string, rate float64) *CorrelatedSample {
+	// Index S by join key.
+	sCol := s.Column(joinColumn)
+	index := make(map[int64][]int32, len(sCol))
+	for row, k := range sCol {
+		index[k] = append(index[k], int32(row))
+	}
+	cs := &CorrelatedSample{r: r, s: s}
+	rCol := r.Column(joinColumn)
+	for row, k := range rCol {
+		if rng.Float64() >= rate {
+			continue
+		}
+		matches := index[k]
+		e := sampleEntry{rRow: int32(row), matchCount: int64(len(matches))}
+		if len(matches) <= maxMatchReservoir {
+			e.matchRows = append([]int32(nil), matches...)
+		} else {
+			// Reservoir sampling.
+			e.matchRows = append([]int32(nil), matches[:maxMatchReservoir]...)
+			for i := maxMatchReservoir; i < len(matches); i++ {
+				j := rng.Intn(i + 1)
+				if j < maxMatchReservoir {
+					e.matchRows[j] = matches[i]
+				}
+			}
+		}
+		cs.entries = append(cs.entries, e)
+	}
+	return cs
+}
+
+// Size returns the number of sampled R tuples.
+func (cs *CorrelatedSample) Size() int { return len(cs.entries) }
+
+// Detail is the full outcome of a sample-based estimate: the (m, fo)
+// stats plus the supporting sample counts, which callers can use for
+// smoothing (a zero-match estimate from q qualifying tuples is better
+// read as m ~ 1/(q+2) than as m = 0).
+type Detail struct {
+	Stats plan.EdgeStats
+	// Qualifying is the number of sampled R tuples passing pR.
+	Qualifying int
+	// Matched is the number of those with at least one S match
+	// passing pS.
+	Matched int
+}
+
+// Estimate returns (m, fo) for sigma_{pR and pS}(R join S), probing
+// from R: m is the probability that an R tuple passing pR has at least
+// one S match passing pS; fo is the mean number of such matches given
+// at least one. The boolean result is false when the sample contains
+// no R tuples passing pR (no information).
+func (cs *CorrelatedSample) Estimate(pR, pS *Predicate) (plan.EdgeStats, bool) {
+	d, ok := cs.EstimateDetail(pR, pS)
+	return d.Stats, ok
+}
+
+// EstimateDetail is Estimate with the supporting sample counts.
+func (cs *CorrelatedSample) EstimateDetail(pR, pS *Predicate) (Detail, bool) {
+	var qualifying, matched int
+	var totalMatches float64
+	for _, e := range cs.entries {
+		if !pR.Matches(cs.r, int(e.rRow)) {
+			continue
+		}
+		qualifying++
+		if e.matchCount == 0 {
+			continue
+		}
+		// Fraction of the match sample passing pS, scaled to the full
+		// match count.
+		pass := 0
+		for _, sRow := range e.matchRows {
+			if pS.Matches(cs.s, int(sRow)) {
+				pass++
+			}
+		}
+		if pass == 0 {
+			continue
+		}
+		est := float64(e.matchCount) * float64(pass) / float64(len(e.matchRows))
+		matched++
+		totalMatches += est
+	}
+	if qualifying == 0 {
+		return Detail{}, false
+	}
+	d := Detail{
+		Stats:      plan.EdgeStats{M: float64(matched) / float64(qualifying), Fo: 1},
+		Qualifying: qualifying,
+		Matched:    matched,
+	}
+	if matched > 0 {
+		d.Stats.Fo = totalMatches / float64(matched)
+		if d.Stats.Fo < 1 {
+			d.Stats.Fo = 1
+		}
+	}
+	return d, true
+}
+
+// GroundTruth computes the exact (m, fo) for sigma_{pR and pS}(R join S)
+// by full enumeration — the baseline Q-errors are measured against.
+func GroundTruth(r, s *storage.Relation, joinColumn string, pR, pS *Predicate) plan.EdgeStats {
+	sCol := s.Column(joinColumn)
+	counts := make(map[int64]int64, len(sCol))
+	for row, k := range sCol {
+		if pS.Matches(s, row) {
+			counts[k]++
+		}
+	}
+	rCol := r.Column(joinColumn)
+	var qualifying, matched, total int64
+	for row, k := range rCol {
+		if !pR.Matches(r, row) {
+			continue
+		}
+		qualifying++
+		if n := counts[k]; n > 0 {
+			matched++
+			total += n
+		}
+	}
+	if qualifying == 0 {
+		return plan.EdgeStats{M: 0, Fo: 1}
+	}
+	st := plan.EdgeStats{M: float64(matched) / float64(qualifying), Fo: 1}
+	if matched > 0 {
+		st.Fo = float64(total) / float64(matched)
+	}
+	return st
+}
+
+// QError is the standard cardinality-estimation error metric
+// (Moerkotte et al.): max(est/actual, actual/est), with both values
+// floored at a small constant so zero estimates stay finite.
+func QError(est, actual float64) float64 {
+	const floor = 1e-6
+	if est < floor {
+		est = floor
+	}
+	if actual < floor {
+		actual = floor
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}

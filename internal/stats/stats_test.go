@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/storage"
+)
+
+// pairTables builds R(b, a) and S(b, c) with controlled structure:
+// join key b, predicate columns a (on R) and c (on S) correlated with
+// the key so the naive estimator's independence assumption is stressed.
+func pairTables(rng *rand.Rand, nR, domain, maxFan int) (*storage.Relation, *storage.Relation) {
+	r := storage.NewRelation("R", "b", "a")
+	s := storage.NewRelation("S", "b", "c")
+	for i := 0; i < nR; i++ {
+		b := rng.Int63n(int64(domain))
+		r.AppendRow(b, b%7) // a correlated with b
+	}
+	for b := int64(0); b < int64(domain); b++ {
+		fan := rng.Intn(maxFan + 1)
+		for j := 0; j < fan; j++ {
+			s.AppendRow(b, b%5) // c correlated with b
+		}
+	}
+	return r, s
+}
+
+func TestGroundTruthNoPredicates(t *testing.T) {
+	r := storage.NewRelation("R", "b")
+	s := storage.NewRelation("S", "b")
+	r.AppendRow(1)
+	r.AppendRow(2)
+	r.AppendRow(3)
+	s.AppendRow(1)
+	s.AppendRow(1)
+	s.AppendRow(3)
+	st := GroundTruth(r, s, "b", nil, nil)
+	if math.Abs(st.M-2.0/3.0) > 1e-12 {
+		t.Errorf("m = %v, want 2/3", st.M)
+	}
+	if math.Abs(st.Fo-1.5) > 1e-12 {
+		t.Errorf("fo = %v, want 1.5", st.Fo)
+	}
+}
+
+func TestGroundTruthWithPredicates(t *testing.T) {
+	r := storage.NewRelation("R", "b", "a")
+	s := storage.NewRelation("S", "b", "c")
+	r.AppendRow(1, 0)
+	r.AppendRow(2, 0)
+	r.AppendRow(3, 1) // filtered out by pR
+	s.AppendRow(1, 9)
+	s.AppendRow(1, 8) // filtered out by pS
+	s.AppendRow(2, 9)
+	pR := &Predicate{Column: "a", Value: 0}
+	pS := &Predicate{Column: "c", Value: 9}
+	st := GroundTruth(r, s, "b", pR, pS)
+	if st.M != 1 {
+		t.Errorf("m = %v, want 1 (both qualifying R rows match)", st.M)
+	}
+	if st.Fo != 1 {
+		t.Errorf("fo = %v, want 1", st.Fo)
+	}
+}
+
+func TestNaiveEstimator(t *testing.T) {
+	r := storage.NewRelation("R", "b")
+	s := storage.NewRelation("S", "b")
+	for i := int64(0); i < 100; i++ {
+		r.AppendRow(i) // V(b,R) = 100
+	}
+	for i := int64(0); i < 50; i++ {
+		s.AppendRow(i)
+		s.AppendRow(i) // V(b,S) = 50, |S| = 100
+	}
+	n := NewNaive(r, s, "b")
+	st := n.Estimate(1)
+	if math.Abs(st.M-0.5) > 1e-12 {
+		t.Errorf("m = %v, want 0.5", st.M)
+	}
+	if math.Abs(st.Fo-2) > 1e-12 {
+		t.Errorf("fo = %v, want 2", st.Fo)
+	}
+	// Exact: uniform keys, so ground truth agrees with naive here.
+	truth := GroundTruth(r, s, "b", nil, nil)
+	if QError(st.M, truth.M) > 1.001 || QError(st.Fo, truth.Fo) > 1.001 {
+		t.Errorf("naive should be exact on uniform data")
+	}
+}
+
+func TestNaivePredicateAdjustment(t *testing.T) {
+	r := storage.NewRelation("R", "b")
+	s := storage.NewRelation("S", "b")
+	for i := int64(0); i < 100; i++ {
+		r.AppendRow(i)
+	}
+	for i := int64(0); i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			s.AppendRow(i) // fo = 4
+		}
+	}
+	n := NewNaive(r, s, "b")
+	// Mild predicate: scales fanout.
+	st := n.Estimate(0.5)
+	if math.Abs(st.Fo-2) > 1e-12 {
+		t.Errorf("fo = %v, want 2", st.Fo)
+	}
+	// Harsh predicate: sp*|S| < V -> fo = 1, m scaled.
+	st = n.Estimate(0.1)
+	if st.Fo != 1 {
+		t.Errorf("fo = %v, want 1 under harsh predicate", st.Fo)
+	}
+	if math.Abs(st.M-0.2) > 1e-12 {
+		t.Errorf("m = %v, want 0.2", st.M)
+	}
+}
+
+func TestNaiveEmptyRelation(t *testing.T) {
+	r := storage.NewRelation("R", "b")
+	s := storage.NewRelation("S", "b")
+	r.AppendRow(1)
+	n := NewNaive(r, s, "b")
+	st := n.Estimate(1)
+	if st.M != 0 || st.Fo != 1 {
+		t.Errorf("empty S: got %+v", st)
+	}
+}
+
+func TestCorrelatedSampleAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r, s := pairTables(rng, 50000, 5000, 6)
+	cs := BuildCorrelatedSample(rng, r, s, "b", 0.05)
+	if cs.Size() == 0 {
+		t.Fatal("empty sample")
+	}
+	// No predicates: estimate must track ground truth closely.
+	truth := GroundTruth(r, s, "b", nil, nil)
+	est, ok := cs.Estimate(nil, nil)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if q := QError(est.M, truth.M); q > 1.1 {
+		t.Errorf("m Q-error %v (est %v truth %v)", q, est.M, truth.M)
+	}
+	if q := QError(est.Fo, truth.Fo); q > 1.1 {
+		t.Errorf("fo Q-error %v (est %v truth %v)", q, est.Fo, truth.Fo)
+	}
+}
+
+func TestCorrelatedSampleWithPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, s := pairTables(rng, 50000, 5000, 6)
+	cs := BuildCorrelatedSample(rng, r, s, "b", 0.1)
+	pR := &Predicate{Column: "a", Value: 3}
+	pS := &Predicate{Column: "c", Value: 3}
+	truth := GroundTruth(r, s, "b", pR, pS)
+	est, ok := cs.Estimate(pR, pS)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// Correlated predicates: sampling should stay within a modest
+	// Q-error; the naive estimator assuming independence would be far
+	// off (a ~ b mod 7 and c ~ b mod 5 interact with the join).
+	if q := QError(est.M, truth.M); q > 2 {
+		t.Errorf("m Q-error %v (est %v truth %v)", q, est.M, truth.M)
+	}
+	if truth.Fo > 1 {
+		if q := QError(est.Fo, truth.Fo); q > 2 {
+			t.Errorf("fo Q-error %v (est %v truth %v)", q, est.Fo, truth.Fo)
+		}
+	}
+}
+
+// TestSamplingBeatsNaiveAggregate mirrors Fig. 4's headline: over many
+// random predicate queries on correlated data, the sampling estimator
+// achieves lower average Q-error for match probability than naive.
+func TestSamplingBeatsNaiveAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r, s := pairTables(rng, 40000, 4000, 6)
+	cs := BuildCorrelatedSample(rng, r, s, "b", 0.1)
+	naive := NewNaive(r, s, "b")
+
+	var naiveErr, sampleErr float64
+	queries := 0
+	for a := int64(0); a < 7; a++ {
+		for c := int64(0); c < 5; c++ {
+			pR := &Predicate{Column: "a", Value: a}
+			pS := &Predicate{Column: "c", Value: c}
+			truth := GroundTruth(r, s, "b", pR, pS)
+			if truth.M == 0 {
+				continue
+			}
+			est, ok := cs.Estimate(pR, pS)
+			if !ok {
+				continue
+			}
+			nEst := naive.Estimate(pS.Selectivity(s))
+			naiveErr += QError(nEst.M, truth.M)
+			sampleErr += QError(est.M, truth.M)
+			queries++
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no queries evaluated")
+	}
+	if sampleErr >= naiveErr {
+		t.Errorf("sampling (%v) should beat naive (%v) on correlated data",
+			sampleErr/float64(queries), naiveErr/float64(queries))
+	}
+}
+
+func TestQError(t *testing.T) {
+	if q := QError(2, 1); q != 2 {
+		t.Errorf("QError(2,1) = %v", q)
+	}
+	if q := QError(1, 2); q != 2 {
+		t.Errorf("QError(1,2) = %v", q)
+	}
+	if q := QError(1, 1); q != 1 {
+		t.Errorf("QError(1,1) = %v", q)
+	}
+	if q := QError(0, 1); math.IsInf(q, 0) || q <= 1 {
+		t.Errorf("QError(0,1) = %v, want large finite", q)
+	}
+}
+
+func TestPredicateSelectivity(t *testing.T) {
+	r := storage.NewRelation("R", "a")
+	for i := int64(0); i < 10; i++ {
+		r.AppendRow(i % 2)
+	}
+	p := &Predicate{Column: "a", Value: 1}
+	if got := p.Selectivity(r); got != 0.5 {
+		t.Errorf("Selectivity = %v", got)
+	}
+	var nilP *Predicate
+	if got := nilP.Selectivity(r); got != 1 {
+		t.Errorf("nil predicate selectivity = %v", got)
+	}
+	empty := storage.NewRelation("E", "a")
+	if got := p.Selectivity(empty); got != 0 {
+		t.Errorf("empty relation selectivity = %v", got)
+	}
+}

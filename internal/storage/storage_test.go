@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("R", "id", "a", "b")
+	if r.Name() != "R" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.NumRows() != 0 || r.NumCols() != 3 {
+		t.Errorf("empty relation dims wrong: %d rows %d cols", r.NumRows(), r.NumCols())
+	}
+	r.AppendRow(1, 10, 100)
+	r.AppendRow(2, 20, 200)
+	if r.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	if got := r.Column("a"); got[0] != 10 || got[1] != 20 {
+		t.Errorf("column a = %v", got)
+	}
+	if got := r.ColumnAt(2); got[1] != 200 {
+		t.Errorf("ColumnAt(2) = %v", got)
+	}
+	if !r.HasColumn("b") || r.HasColumn("zz") {
+		t.Errorf("HasColumn wrong")
+	}
+	names := r.ColumnNames()
+	if len(names) != 3 || names[0] != "id" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestRelationPanics(t *testing.T) {
+	r := NewRelation("R", "a")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for unknown column")
+			}
+		}()
+		r.Column("missing")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for wrong arity")
+			}
+		}()
+		r.AppendRow(1, 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic for duplicate column")
+			}
+		}()
+		NewRelation("bad", "x", "x")
+	}()
+}
+
+func TestGrow(t *testing.T) {
+	r := NewRelation("R", "a", "b")
+	r.AppendRow(1, 2)
+	r.Grow(1000)
+	r.AppendRow(3, 4)
+	if r.NumRows() != 2 || r.Column("a")[1] != 3 {
+		t.Errorf("Grow corrupted data")
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(5)
+	if b.Count() != 5 {
+		t.Errorf("fresh bitmap count = %d", b.Count())
+	}
+	b[1] = false
+	b[3] = false
+	if b.Count() != 3 {
+		t.Errorf("count after clears = %d", b.Count())
+	}
+}
+
+func buildDataset() *Dataset {
+	tr := plan.NewTree("R1")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "R2")
+	ds := NewDataset(tr)
+	r1 := NewRelation("R1", "id", "k1")
+	r1.AppendRow(0, 100)
+	r2 := NewRelation("R2", "id", "k1")
+	r2.AppendRow(0, 100)
+	ds.SetRelation(plan.Root, r1, "")
+	ds.SetRelation(1, r2, "k1")
+	return ds
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := buildDataset()
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	if ds.TotalRows() != 2 {
+		t.Errorf("TotalRows = %d", ds.TotalRows())
+	}
+	if ds.KeyColumn(1) != "k1" {
+		t.Errorf("KeyColumn = %q", ds.KeyColumn(1))
+	}
+	if ds.Relation(plan.Root).Name() != "R1" {
+		t.Errorf("Relation(root) wrong")
+	}
+}
+
+func TestDatasetValidateErrors(t *testing.T) {
+	tr := plan.NewTree("R1")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "R2")
+
+	// Missing relation entirely.
+	ds := NewDataset(tr)
+	if err := ds.Validate(); err == nil {
+		t.Errorf("expected error for missing relations")
+	}
+
+	// Child missing its join column.
+	ds = NewDataset(tr)
+	r1 := NewRelation("R1", "id", "k1")
+	bad := NewRelation("R2", "id")
+	ds.SetRelation(plan.Root, r1, "")
+	ds.SetRelation(1, bad, "k1")
+	if err := ds.Validate(); err == nil {
+		t.Errorf("expected error for missing child key column")
+	}
+
+	// Parent missing the join column.
+	ds = NewDataset(tr)
+	r1 = NewRelation("R1", "id")
+	r2 := NewRelation("R2", "id", "k1")
+	ds.SetRelation(plan.Root, r1, "")
+	ds.SetRelation(1, r2, "k1")
+	if err := ds.Validate(); err == nil {
+		t.Errorf("expected error for missing parent key column")
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// This file simulates the CE benchmark datasets of Section 5.3
+// (epinions, imdb, watdiv, dblp, yago). The real datasets are graph
+// edge tables whose many-to-many joins explode intermediate results;
+// since they cannot be fetched in an offline build, each dataset is
+// replaced by a synthetic profile that reproduces the characteristics
+// the experiments depend on: per-dataset scale, zipfian degree skew,
+// and the mix of match probabilities. Queries are random acyclic join
+// trees over the profile, filtered by an estimated result-size cap as
+// in the paper.
+
+// CEProfile parameterizes one simulated CE dataset.
+type CEProfile struct {
+	Name string
+	// BaseRows is the driver cardinality of generated queries.
+	BaseRows int
+	// MRange bounds the per-edge match probabilities.
+	MRange [2]float64
+	// ZipfSkew and MaxDegree shape the fanout distribution; higher
+	// skew concentrates matches on hub nodes (social graphs), lower
+	// skew approaches uniform (synthetic RDF).
+	ZipfSkew  float64
+	MaxDegree int
+	// Relations bounds the number of relations per random query.
+	MinRelations, MaxRelations int
+}
+
+// CEProfiles lists the five simulated datasets. The profiles are
+// calibrated qualitatively: epinions (trust graph) is small and very
+// skewed; imdb has moderate skew with low match probabilities across
+// many relations; watdiv is a uniform synthetic RDF benchmark; dblp is
+// a sparse coauthorship graph with hub authors; yago is large, sparse
+// and skewed.
+var CEProfiles = []CEProfile{
+	{Name: "epinions", BaseRows: 6000, MRange: [2]float64{0.3, 0.9}, ZipfSkew: 1.6, MaxDegree: 64, MinRelations: 4, MaxRelations: 7},
+	{Name: "imdb", BaseRows: 12000, MRange: [2]float64{0.1, 0.6}, ZipfSkew: 1.3, MaxDegree: 32, MinRelations: 4, MaxRelations: 8},
+	{Name: "watdiv", BaseRows: 10000, MRange: [2]float64{0.2, 0.8}, ZipfSkew: 1.05, MaxDegree: 16, MinRelations: 4, MaxRelations: 8},
+	{Name: "dblp", BaseRows: 8000, MRange: [2]float64{0.2, 0.7}, ZipfSkew: 1.8, MaxDegree: 48, MinRelations: 4, MaxRelations: 7},
+	{Name: "yago", BaseRows: 15000, MRange: [2]float64{0.05, 0.5}, ZipfSkew: 1.5, MaxDegree: 32, MinRelations: 4, MaxRelations: 8},
+}
+
+// CEProfileByName returns the profile with the given name.
+func CEProfileByName(name string) (CEProfile, bool) {
+	for _, p := range CEProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return CEProfile{}, false
+}
+
+// CEQuery is one generated benchmark query: a join tree with its
+// dataset.
+type CEQuery struct {
+	Dataset string
+	Index   int
+	Tree    *plan.Tree
+	Data    *storage.Dataset
+}
+
+// GenerateCEQueries generates `count` random acyclic queries over the
+// profile, each with its own generated dataset, skipping queries whose
+// estimated flat result size exceeds maxResult (the paper caps result
+// sizes at 10^10).
+func GenerateCEQueries(p CEProfile, count int, maxResult float64, seed int64) []CEQuery {
+	rng := rand.New(rand.NewSource(seed))
+	fanout := NewZipf(p.ZipfSkew, p.MaxDegree)
+	queries := make([]CEQuery, 0, count)
+	for attempts := 0; len(queries) < count && attempts < count*50; attempts++ {
+		n := p.MinRelations + rng.Intn(p.MaxRelations-p.MinRelations+1)
+		tr := plan.RandomTree(n, rng, func() plan.EdgeStats {
+			return plan.EdgeStats{
+				M:  p.MRange[0] + rng.Float64()*(p.MRange[1]-p.MRange[0]),
+				Fo: fanout.Mean(),
+			}
+		})
+		// Estimated flat output: driver * prod(m*fo).
+		est := float64(p.BaseRows)
+		for _, id := range tr.NonRoot() {
+			est *= tr.Stats(id).Selectivity()
+		}
+		if est > maxResult {
+			continue
+		}
+		fanouts := make(map[plan.NodeID]FanoutDist, tr.Len()-1)
+		for _, id := range tr.NonRoot() {
+			fanouts[id] = fanout
+		}
+		ds := Generate(tr, Config{
+			DriverRows:       p.BaseRows,
+			Seed:             rng.Int63(),
+			Fanouts:          fanouts,
+			DanglingFraction: 0.2, // graph edge tables have dangling endpoints
+		})
+		queries = append(queries, CEQuery{
+			Dataset: p.Name,
+			Index:   len(queries),
+			Tree:    tr,
+			Data:    ds,
+		})
+	}
+	if len(queries) < count {
+		panic(fmt.Sprintf("workload: could not generate %d CE queries for %s under cap %g",
+			count, p.Name, maxResult))
+	}
+	return queries
+}

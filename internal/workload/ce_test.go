@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+func TestCEProfilesComplete(t *testing.T) {
+	want := map[string]bool{"epinions": true, "imdb": true, "watdiv": true, "dblp": true, "yago": true}
+	for _, p := range CEProfiles {
+		if !want[p.Name] {
+			t.Errorf("unexpected profile %q", p.Name)
+		}
+		delete(want, p.Name)
+		if p.BaseRows <= 0 || p.ZipfSkew <= 1 || p.MaxDegree < 2 {
+			t.Errorf("profile %q has degenerate parameters: %+v", p.Name, p)
+		}
+		if p.MinRelations < 2 || p.MaxRelations < p.MinRelations {
+			t.Errorf("profile %q has bad relation bounds", p.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("missing profile %q", name)
+	}
+}
+
+func TestCEProfileByName(t *testing.T) {
+	if p, ok := CEProfileByName("dblp"); !ok || p.Name != "dblp" {
+		t.Errorf("lookup failed: %+v %v", p, ok)
+	}
+	if _, ok := CEProfileByName("nope"); ok {
+		t.Errorf("bogus name found")
+	}
+}
+
+func TestGenerateCEQueries(t *testing.T) {
+	p := CEProfiles[0]
+	p.BaseRows = 500 // keep the test fast
+	queries := GenerateCEQueries(p, 4, 1e7, 42)
+	if len(queries) != 4 {
+		t.Fatalf("got %d queries", len(queries))
+	}
+	for i, q := range queries {
+		if q.Index != i || q.Dataset != p.Name {
+			t.Errorf("query %d mislabeled: %+v", i, q)
+		}
+		n := q.Tree.Len()
+		if n < p.MinRelations || n > p.MaxRelations {
+			t.Errorf("query %d has %d relations, want [%d,%d]",
+				i, n, p.MinRelations, p.MaxRelations)
+		}
+		if err := q.Data.Validate(); err != nil {
+			t.Errorf("query %d dataset invalid: %v", i, err)
+		}
+		// Result-size cap respected (estimated).
+		est := float64(p.BaseRows)
+		for _, id := range q.Tree.NonRoot() {
+			est *= q.Tree.Stats(id).Selectivity()
+		}
+		if est > 1e7 {
+			t.Errorf("query %d exceeds cap: est %g", i, est)
+		}
+	}
+}
+
+func TestGenerateCEQueriesDeterministic(t *testing.T) {
+	p := CEProfiles[1]
+	p.BaseRows = 300
+	a := GenerateCEQueries(p, 2, 1e7, 9)
+	b := GenerateCEQueries(p, 2, 1e7, 9)
+	for i := range a {
+		if a[i].Tree.String() != b[i].Tree.String() {
+			t.Errorf("query %d trees differ", i)
+		}
+		for _, id := range a[i].Tree.TopDown() {
+			ra, rb := a[i].Data.Relation(id), b[i].Data.Relation(id)
+			if ra.NumRows() != rb.NumRows() {
+				t.Errorf("query %d node %d: %d vs %d rows", i, id, ra.NumRows(), rb.NumRows())
+			}
+		}
+	}
+	_ = plan.Root
+}
+
+func TestGenerateCEQueriesUnsatisfiableCapPanics(t *testing.T) {
+	p := CEProfiles[0]
+	p.BaseRows = 1000
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic when the cap can never be met")
+		}
+	}()
+	GenerateCEQueries(p, 3, 0.5, 1) // cap below the driver size alone
+}

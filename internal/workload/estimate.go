@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"math/rand"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/stats"
+	"m2mjoin/internal/storage"
+)
+
+// EstimatedTree returns a copy of ds.Tree whose edge statistics come
+// from correlated samples of the given rate (Section 3.2) instead of
+// exact measurement — the realistic planning input: the optimizer sees
+// sampled estimates, execution sees the data. Edges whose sample is
+// empty fall back to the naive distinct-count estimator.
+//
+// Together with MeasuredTree this closes the paper's loop: Fig. 4
+// shows the estimates are accurate; Fig. 6 shows the match-probability
+// cost model tolerates their errors; this function feeds them to the
+// optimizer.
+func EstimatedTree(ds *storage.Dataset, rate float64, rng *rand.Rand) *plan.Tree {
+	t := ds.Tree
+	return plan.Rebuild(t, func(id plan.NodeID, old plan.EdgeStats) plan.EdgeStats {
+		parentRel := ds.Relation(t.Parent(id))
+		childRel := ds.Relation(id)
+		key := ds.KeyColumn(id)
+
+		cs := stats.BuildCorrelatedSample(rng, parentRel, childRel, key, rate)
+		est, ok := cs.Estimate(nil, nil)
+		if !ok || est.M <= 0 {
+			est = stats.NewNaive(parentRel, childRel, key).Estimate(1)
+		}
+		return clampStats(est, old)
+	})
+}
+
+// clampStats keeps estimates inside the model's valid ranges, falling
+// back to the annotation when an estimate is degenerate.
+func clampStats(est, fallback plan.EdgeStats) plan.EdgeStats {
+	if est.M <= 0 || est.M > 1 {
+		est.M = fallback.M
+	}
+	if est.M <= 0 || est.M > 1 {
+		est.M = 0.5
+	}
+	if est.Fo < 1 {
+		est.Fo = 1
+	}
+	return est
+}

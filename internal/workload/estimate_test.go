@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+func TestEstimatedTreeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tr := plan.Snowflake(3, 1, plan.UniformStats(rng, 0.3, 0.8, 1, 5))
+	ds := Generate(tr, Config{DriverRows: 30000, Seed: 81})
+
+	measured := MeasuredTree(ds)
+	estimated := EstimatedTree(ds, 0.01, rng)
+
+	for _, id := range tr.NonRoot() {
+		m, e := measured.Stats(id), estimated.Stats(id)
+		if qe := qerr(e.M, m.M); qe > 1.25 {
+			t.Errorf("edge %d: estimated m %v vs measured %v (Q-err %v)", id, e.M, m.M, qe)
+		}
+		if qe := qerr(e.Fo, m.Fo); qe > 1.25 {
+			t.Errorf("edge %d: estimated fo %v vs measured %v (Q-err %v)", id, e.Fo, m.Fo, qe)
+		}
+	}
+}
+
+func TestEstimatedTreeValidRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 10; trial++ {
+		tr := plan.RandomTree(2+rng.Intn(5), rng, plan.UniformStats(rng, 0.1, 0.9, 1, 4))
+		ds := Generate(tr, Config{DriverRows: 100, Seed: int64(trial)}) // tiny: sparse samples
+		est := EstimatedTree(ds, 0.05, rng)
+		for _, id := range tr.NonRoot() {
+			st := est.Stats(id)
+			if st.M <= 0 || st.M > 1 || st.Fo < 1 {
+				t.Fatalf("trial %d edge %d: estimate out of range %+v", trial, id, st)
+			}
+		}
+	}
+}
+
+func qerr(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return math.Inf(1)
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}

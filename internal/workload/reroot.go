@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// This file implements driver re-rooting: the paper's optimization
+// algorithms fix a driver relation and are "ran once for each choice
+// of the driver relation to find the overall optimal plan" (Section
+// 2.1). Re-rooting reverses some tree edges; the join key column of an
+// edge is shared by both relations, so only the probe direction — and
+// with it the edge's (m, fo) — changes. The reversed statistics are
+// measured from the data.
+
+// Reroot returns a new dataset whose join tree is rooted at newRoot.
+// Node IDs are reassigned (the new driver becomes plan.Root); the
+// returned mapping translates old node IDs to new ones. All edge
+// statistics of the new tree are measured from the data in the new
+// probe direction.
+func Reroot(ds *storage.Dataset, newRoot plan.NodeID) (*storage.Dataset, map[plan.NodeID]plan.NodeID) {
+	old := ds.Tree
+	if int(newRoot) < 0 || int(newRoot) >= old.Len() {
+		panic(fmt.Sprintf("workload: Reroot: node %d out of range", newRoot))
+	}
+
+	// Undirected adjacency with the key column of each edge. The key
+	// column is stored on the old child side.
+	type adj struct {
+		other plan.NodeID
+		key   string
+	}
+	neighbors := make(map[plan.NodeID][]adj, old.Len())
+	for _, c := range old.NonRoot() {
+		p := old.Parent(c)
+		k := ds.KeyColumn(c)
+		neighbors[p] = append(neighbors[p], adj{c, k})
+		neighbors[c] = append(neighbors[c], adj{p, k})
+	}
+
+	newTree := plan.NewTree(old.Name(newRoot))
+	mapping := map[plan.NodeID]plan.NodeID{newRoot: plan.Root}
+	newKey := map[plan.NodeID]string{}
+
+	// BFS from the new root, measuring stats parent->child as we go.
+	type frame struct {
+		oldID  plan.NodeID
+		oldPar plan.NodeID
+		has    bool
+	}
+	queue := []frame{{oldID: newRoot}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, a := range neighbors[f.oldID] {
+			if f.has && a.other == f.oldPar {
+				continue
+			}
+			parentRel := ds.Relation(f.oldID)
+			childRel := ds.Relation(a.other)
+			st := measureEdge(parentRel, childRel, a.key)
+			id := newTree.AddChild(mapping[f.oldID], st, old.Name(a.other))
+			mapping[a.other] = id
+			newKey[id] = a.key
+			queue = append(queue, frame{oldID: a.other, oldPar: f.oldID, has: true})
+		}
+	}
+
+	out := storage.NewDataset(newTree)
+	for oldID, newID := range mapping {
+		out.SetRelation(newID, ds.Relation(oldID), newKey[newID])
+	}
+	if err := out.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: Reroot produced invalid dataset: %v", err))
+	}
+	return out, mapping
+}
+
+// measureEdge computes the realized (m, fo) for probing from parent
+// into child on the shared key column.
+func measureEdge(parentRel, childRel *storage.Relation, key string) plan.EdgeStats {
+	counts := make(map[int64]int64, childRel.NumRows())
+	for _, k := range childRel.Column(key) {
+		counts[k]++
+	}
+	var matched, totalMatches int64
+	parentKeys := parentRel.Column(key)
+	for _, k := range parentKeys {
+		if n := counts[k]; n > 0 {
+			matched++
+			totalMatches += n
+		}
+	}
+	st := plan.EdgeStats{M: 1.0 / float64(2*len(parentKeys)+2), Fo: 1}
+	if len(parentKeys) > 0 && matched > 0 {
+		st.M = float64(matched) / float64(len(parentKeys))
+		st.Fo = float64(totalMatches) / float64(matched)
+	}
+	if st.M > 1 {
+		st.M = 1
+	}
+	if st.Fo < 1 {
+		st.Fo = 1
+	}
+	return st
+}

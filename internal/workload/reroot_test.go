@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+func TestRerootPreservesRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := plan.RandomTree(6, rng, plan.UniformStats(rng, 0.3, 0.9, 1, 3))
+	ds := Generate(tr, Config{DriverRows: 500, Seed: 1})
+
+	for i := 0; i < tr.Len(); i++ {
+		newRoot := plan.NodeID(i)
+		re, mapping := Reroot(ds, newRoot)
+		if re.Tree.Len() != tr.Len() {
+			t.Fatalf("reroot at %d changed size", newRoot)
+		}
+		if mapping[newRoot] != plan.Root {
+			t.Fatalf("new root not mapped to Root")
+		}
+		// Every relation appears exactly once, with its name preserved.
+		seen := map[string]bool{}
+		for old, nw := range mapping {
+			if ds.Relation(old) != re.Relation(nw) {
+				t.Fatalf("relation identity lost for %d->%d", old, nw)
+			}
+			name := re.Tree.Name(nw)
+			if seen[name] {
+				t.Fatalf("duplicate relation %q", name)
+			}
+			seen[name] = true
+		}
+		if err := re.Validate(); err != nil {
+			t.Fatalf("rerooted dataset invalid: %v", err)
+		}
+	}
+}
+
+func TestRerootPreservesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := plan.RandomTree(7, rng, plan.UniformStats(rng, 0.3, 0.9, 1, 3))
+	ds := Generate(tr, Config{DriverRows: 300, Seed: 2})
+
+	// Undirected edge set by relation-name pairs.
+	edgeKey := func(a, b string) string {
+		if a > b {
+			a, b = b, a
+		}
+		return a + "|" + b
+	}
+	want := map[string]bool{}
+	for _, c := range tr.NonRoot() {
+		want[edgeKey(tr.Name(c), tr.Name(tr.Parent(c)))] = true
+	}
+	re, _ := Reroot(ds, plan.NodeID(tr.Len()-1))
+	got := map[string]bool{}
+	for _, c := range re.Tree.NonRoot() {
+		got[edgeKey(re.Tree.Name(c), re.Tree.Name(re.Tree.Parent(c)))] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edge count changed: %d vs %d", len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Errorf("edge %s lost in reroot", e)
+		}
+	}
+}
+
+func TestRerootMeasuredStats(t *testing.T) {
+	// A single edge with m=0.5, fo=4: probing the reverse direction,
+	// every child tuple matches exactly one parent tuple (generated
+	// keys are unique per parent row), so reversed m=1, fo=1.
+	tr := plan.NewTree("P")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 4}, "C")
+	ds := Generate(tr, Config{DriverRows: 4000, Seed: 3})
+
+	re, mapping := Reroot(ds, 1)
+	newChild := mapping[plan.Root]
+	st := re.Tree.Stats(newChild)
+	if math.Abs(st.M-1) > 1e-9 {
+		t.Errorf("reversed m = %v, want 1 (every child key exists in parent)", st.M)
+	}
+	if math.Abs(st.Fo-1) > 1e-9 {
+		t.Errorf("reversed fo = %v, want 1 (parent keys unique)", st.Fo)
+	}
+	// With dangling child tuples the reversed m drops below 1.
+	ds2 := Generate(tr, Config{DriverRows: 4000, Seed: 3, DanglingFraction: 0.5})
+	re2, mapping2 := Reroot(ds2, 1)
+	st2 := re2.Tree.Stats(mapping2[plan.Root])
+	if st2.M >= 1 {
+		t.Errorf("reversed m with dangling tuples = %v, want < 1", st2.M)
+	}
+}
+
+func TestRerootIdentity(t *testing.T) {
+	// Rerooting at the current root preserves the tree shape.
+	tr := plan.Snowflake(2, 1, plan.FixedStats(0.5, 2))
+	ds := Generate(tr, Config{DriverRows: 200, Seed: 4})
+	re, mapping := Reroot(ds, plan.Root)
+	if re.Tree.Len() != tr.Len() {
+		t.Fatalf("size changed")
+	}
+	for _, c := range tr.NonRoot() {
+		if re.Tree.Parent(mapping[c]) != mapping[tr.Parent(c)] {
+			t.Errorf("parent of %d changed", c)
+		}
+	}
+}
+
+func TestRerootPanicsOnBadNode(t *testing.T) {
+	tr := plan.NewTree("R1")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "R2")
+	ds := Generate(tr, Config{DriverRows: 10, Seed: 5})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Reroot(ds, 99)
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+func TestGenerateRealizesStats(t *testing.T) {
+	tr := plan.NewTree("R1")
+	a := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.4, Fo: 3}, "R2")
+	tr.AddChild(a, plan.EdgeStats{M: 0.7, Fo: 2}, "R3")
+	ds := Generate(tr, Config{DriverRows: 20000, Seed: 1})
+
+	measured := Measure(ds)
+	for _, id := range tr.NonRoot() {
+		want := tr.Stats(id)
+		got := measured[id]
+		if math.Abs(got.M-want.M) > 0.02 {
+			t.Errorf("edge %d: measured m %v, want %v", id, got.M, want.M)
+		}
+		if math.Abs(got.Fo-want.Fo)/want.Fo > 0.02 {
+			t.Errorf("edge %d: measured fo %v, want %v", id, got.Fo, want.Fo)
+		}
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	tr := plan.NewTree("R1")
+	a := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 4}, "R2")
+	tr.AddChild(a, plan.EdgeStats{M: 0.25, Fo: 2}, "R3")
+	const n = 50000
+	ds := Generate(tr, Config{DriverRows: n, Seed: 2})
+	if got := ds.Relation(plan.Root).NumRows(); got != n {
+		t.Fatalf("driver rows = %d", got)
+	}
+	// |R2| ~ n * 0.5 * 4 = 2n, |R3| ~ |R2| * 0.25 * 2.
+	r2 := float64(ds.Relation(1).NumRows())
+	if math.Abs(r2-2*n)/(2*n) > 0.03 {
+		t.Errorf("|R2| = %v, want ~%v", r2, 2*n)
+	}
+	r3 := float64(ds.Relation(2).NumRows())
+	if math.Abs(r3-r2*0.5)/(r2*0.5) > 0.05 {
+		t.Errorf("|R3| = %v, want ~%v", r3, r2*0.5)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tr := plan.Star(3, plan.FixedStats(0.5, 2))
+	a := Generate(tr, Config{DriverRows: 100, Seed: 42})
+	b := Generate(tr, Config{DriverRows: 100, Seed: 42})
+	for _, id := range append([]plan.NodeID{plan.Root}, tr.NonRoot()...) {
+		ra, rb := a.Relation(id), b.Relation(id)
+		if ra.NumRows() != rb.NumRows() {
+			t.Fatalf("node %d: %d vs %d rows", id, ra.NumRows(), rb.NumRows())
+		}
+		for c := 0; c < ra.NumCols(); c++ {
+			ca, cb := ra.ColumnAt(c), rb.ColumnAt(c)
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("node %d col %d row %d: %d vs %d", id, c, i, ca[i], cb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDangling(t *testing.T) {
+	tr := plan.NewTree("R1")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "R2")
+	clean := Generate(tr, Config{DriverRows: 5000, Seed: 3})
+	dirty := Generate(tr, Config{DriverRows: 5000, Seed: 3, DanglingFraction: 0.5})
+	if dirty.Relation(1).NumRows() <= clean.Relation(1).NumRows() {
+		t.Errorf("dangling fraction did not grow the child: %d vs %d",
+			dirty.Relation(1).NumRows(), clean.Relation(1).NumRows())
+	}
+	// Dangling tuples must not change the measured match probability
+	// from the parent side.
+	m := Measure(dirty)[1].M
+	if math.Abs(m-0.5) > 0.03 {
+		t.Errorf("dangling changed parent-side m: %v", m)
+	}
+}
+
+func TestMeasuredTreeClampsAndCopies(t *testing.T) {
+	tr := plan.NewTree("R1")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "R2")
+	ds := Generate(tr, Config{DriverRows: 1000, Seed: 4})
+	mt := MeasuredTree(ds)
+	if mt.Len() != tr.Len() {
+		t.Fatalf("size changed")
+	}
+	st := mt.Stats(1)
+	if st.M <= 0 || st.M > 1 || st.Fo < 1 {
+		t.Errorf("measured stats out of range: %+v", st)
+	}
+}
+
+func TestDeterministicFanoutMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, fo := range []float64{1, 1.5, 3.7, 10} {
+		d := Deterministic{Fo: fo}
+		sum := 0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			s := d.Sample(rng)
+			if s < 1 {
+				t.Fatalf("sample < 1")
+			}
+			sum += s
+		}
+		got := float64(sum) / n
+		if math.Abs(got-d.Mean())/d.Mean() > 0.01 {
+			t.Errorf("fo=%v: sample mean %v vs Mean() %v", fo, got, d.Mean())
+		}
+	}
+}
+
+func TestTruncNormalFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := TruncNormal{Mu: 10, Sigma: 4}
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < 1 || s > 19 {
+			t.Fatalf("sample %d outside [1, 2mu-1]", s)
+		}
+		sum += float64(s)
+		sumSq += float64(s) * float64(s)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.15 {
+		t.Errorf("mean %v, want ~10", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if variance < 5 {
+		t.Errorf("variance %v suspiciously low for sigma=4", variance)
+	}
+}
+
+func TestExponentialFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := Exponential{Mean_: 10}
+	sum := 0.0
+	maxSeen := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < 1 {
+			t.Fatalf("sample < 1")
+		}
+		if s > maxSeen {
+			maxSeen = s
+		}
+		sum += float64(s)
+	}
+	if mean := sum / n; math.Abs(mean-10)/10 > 0.03 {
+		t.Errorf("mean %v, want ~10", mean)
+	}
+	if maxSeen < 40 {
+		t.Errorf("exponential tail too short: max %d", maxSeen)
+	}
+	if one := (Exponential{Mean_: 1}); one.Sample(rng) != 1 || one.Mean() != 1 {
+		t.Errorf("degenerate exponential should be constant 1")
+	}
+}
+
+func TestZipfFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewZipf(1.5, 100)
+	sum := 0.0
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < 1 || s > 100 {
+			t.Fatalf("sample %d out of range", s)
+		}
+		counts[s]++
+		sum += float64(s)
+	}
+	if mean := sum / n; math.Abs(mean-d.Mean())/d.Mean() > 0.05 {
+		t.Errorf("sample mean %v vs analytic %v", mean, d.Mean())
+	}
+	if counts[1] < counts[2] {
+		t.Errorf("zipf should be monotone decreasing: %d vs %d", counts[1], counts[2])
+	}
+}
+
+func TestGenerateSkewedFanout(t *testing.T) {
+	tr := plan.NewTree("R1")
+	c := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.8, Fo: 10}, "R2")
+	ds := Generate(tr, Config{
+		DriverRows: 20000,
+		Seed:       9,
+		Fanouts:    map[plan.NodeID]FanoutDist{c: Exponential{Mean_: 10}},
+	})
+	got := Measure(ds)[c]
+	if math.Abs(got.Fo-10)/10 > 0.05 {
+		t.Errorf("skewed fanout mean %v, want ~10", got.Fo)
+	}
+	if math.Abs(got.M-0.8) > 0.02 {
+		t.Errorf("m %v, want 0.8", got.M)
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for zero driver rows")
+		}
+	}()
+	Generate(plan.NewTree(""), Config{})
+}
