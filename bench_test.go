@@ -110,6 +110,45 @@ func BenchmarkStrategies(b *testing.B) {
 	}
 }
 
+// BenchmarkStrategiesParallel sweeps the worker count of the parallel
+// executor on the Snowflake32 shape with a larger driver, for every
+// strategy. The build phase is shared and sequential; probe work over
+// driver chunks scales with workers. Allocations are reported to track
+// the zero-allocation probe hot path (the per-iteration figure covers
+// the whole run including the build phase; it must not grow with the
+// driver chunk count).
+func BenchmarkStrategiesParallel(b *testing.B) {
+	// Mid-to-high match probabilities keep most driver rows alive, so
+	// the parallel probe/expand phase dominates the (shared) build
+	// phase and the worker sweep measures actual probe scaling.
+	rng := rand.New(rand.NewSource(123))
+	tr := plan.Snowflake(3, 2, plan.UniformStats(rng, 0.5, 0.8, 1, 3))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 30000, Seed: 99})
+	model := cost.New(workload.MeasuredTree(ds), cost.DefaultWeights())
+	order := opt.Optimize(model, cost.COM, opt.GreedySurvival).Order
+	for _, s := range cost.AllStrategies {
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("Snowflake32/%s/par%d", s, par), func(b *testing.B) {
+				b.ReportAllocs()
+				var checksum uint64
+				for i := 0; i < b.N; i++ {
+					stats, err := exec.Run(ds, exec.Options{
+						Strategy: s, Order: order, FlatOutput: true, Parallelism: par,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if checksum == 0 {
+						checksum = stats.Checksum
+					} else if stats.Checksum != checksum {
+						b.Fatalf("checksum changed across runs")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkOptimizers measures plan-search cost on a 14-relation
 // random tree for each algorithm (Algorithm 1 vs the three greedies).
 func BenchmarkOptimizers(b *testing.B) {

@@ -39,6 +39,8 @@ var figures = []struct {
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallelism := flag.Int("parallelism", 1,
+		"probe workers per execution (1 sequential, -1 all CPUs); counters are identical at any setting")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -47,6 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	experiments.Parallelism = *parallelism
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
@@ -72,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: m2mbench [-scale quick|full] [-seed N] <figure|all>\n\nfigures:\n")
+	fmt.Fprintf(os.Stderr, "usage: m2mbench [-scale quick|full] [-seed N] [-parallelism N] <figure|all>\n\nfigures:\n")
 	for _, f := range figures {
 		fmt.Fprintf(os.Stderr, "  %-6s  %s\n", f.name, f.desc)
 	}

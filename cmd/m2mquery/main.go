@@ -8,7 +8,7 @@
 // Usage:
 //
 //	m2mquery [-shape star|path|snowflake32|snowflake51] [-rows N]
-//	         [-m lo,hi] [-fo lo,hi] [-seed N] [-compare]
+//	         [-m lo,hi] [-fo lo,hi] [-seed N] [-compare] [-parallelism N]
 //
 // With -compare, all six strategies are executed with the chosen order
 // and their counters printed side by side.
@@ -36,6 +36,8 @@ func main() {
 	foRange := flag.String("fo", "1,5", "fanout range lo,hi")
 	seed := flag.Int64("seed", 1, "random seed")
 	compare := flag.Bool("compare", false, "execute all six strategies and compare")
+	parallelism := flag.Int("parallelism", 1,
+		"probe workers (1 sequential, -1 all CPUs); results are identical at any setting")
 	flag.Parse()
 
 	mLo, mHi, err := parseRange(*mRange)
@@ -83,7 +85,9 @@ func main() {
 		choice.Predicted.Total, choice.Predicted.Total*float64(*rows))
 
 	start := time.Now()
-	stats, err := core.Execute(ds, choice, core.ExecuteOptions{FlatOutput: true})
+	stats, err := core.Execute(ds, choice, core.ExecuteOptions{
+		FlatOutput: true, Parallelism: *parallelism,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +102,9 @@ func main() {
 				c.SemiJoins = nil
 			}
 			start := time.Now()
-			st, err := core.Execute(ds, c, core.ExecuteOptions{FlatOutput: true})
+			st, err := core.Execute(ds, c, core.ExecuteOptions{
+				FlatOutput: true, Parallelism: *parallelism,
+			})
 			if err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,3 @@
+module m2mjoin
+
+go 1.24

@@ -1,0 +1,54 @@
+package bitvector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProbeContainsMatchesMayContain: the batch probe must agree with
+// per-key MayContain, honor the selection vector, and support in-place
+// mask reduction.
+func TestProbeContainsMatchesMayContain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := New(1024, 8)
+	for i := 0; i < 1024; i++ {
+		f.Add(rng.Int63n(2000))
+	}
+	n := 4096
+	keys := make([]int64, n)
+	sel := make([]bool, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(4000)
+		sel[i] = rng.Intn(4) > 0
+	}
+	out := make([]bool, n)
+	probed := f.ProbeContains(keys, sel, out)
+	wantProbed := 0
+	for i, key := range keys {
+		want := false
+		if sel[i] {
+			wantProbed++
+			want = f.MayContain(key)
+		}
+		if out[i] != want {
+			t.Fatalf("lane %d: got %v, want %v", i, out[i], want)
+		}
+	}
+	if probed != wantProbed {
+		t.Errorf("probed = %d, want %d", probed, wantProbed)
+	}
+
+	// nil selection probes everything.
+	if got := f.ProbeContains(keys, nil, out); got != n {
+		t.Errorf("nil sel probed %d, want %d", got, n)
+	}
+
+	// In-place: mask as both sel and out.
+	mask := append([]bool(nil), sel...)
+	f.ProbeContains(keys, mask, mask)
+	for i := range mask {
+		if mask[i] != (sel[i] && f.MayContain(keys[i])) {
+			t.Fatalf("in-place reduction wrong at lane %d", i)
+		}
+	}
+}

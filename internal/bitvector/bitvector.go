@@ -71,6 +71,27 @@ func (f *Filter) MayContain(key int64) bool {
 	return f.bits[h>>6]&(1<<(h&63)) != 0
 }
 
+// ProbeContains is the batch filter probe: for every key whose sel
+// entry is set (nil sel probes all), out[i] reports MayContain(keys[i]);
+// unselected lanes get out[i] = false. It returns the number of keys
+// probed. len(out) must equal len(keys). sel and out may share backing
+// storage (in-place mask reduction): sel[i] is read before out[i] is
+// written. Hashing and the bit tests run in one tight pass over the
+// chunk, amortizing the per-probe call overhead of MayContain.
+func (f *Filter) ProbeContains(keys []int64, sel []bool, out []bool) int {
+	probed := 0
+	for i, key := range keys {
+		if sel != nil && !sel[i] {
+			out[i] = false
+			continue
+		}
+		probed++
+		h := hashtable.Hash64(key) >> f.shift
+		out[i] = f.bits[h>>6]&(1<<(h&63)) != 0
+	}
+	return probed
+}
+
 // FillRatio returns the fraction of set bits, which approximates the
 // false-positive probability for single-hash filters.
 func (f *Filter) FillRatio() float64 {

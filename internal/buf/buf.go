@@ -1,0 +1,20 @@
+// Package buf provides scratch-buffer slice growth for the executor's
+// reuse-everything hot paths. Buffers grow with 25% headroom: per-chunk
+// sizes fluctuate, and exact-fit growth would reallocate on every new
+// high-water mark instead of a logarithmic number of times.
+package buf
+
+// Grow returns s with length n, reusing capacity when possible.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, n+n/4+8)
+	}
+	return s[:n]
+}
+
+// Copy returns dst holding a copy of src, reusing dst's capacity.
+func Copy[T any](dst, src []T) []T {
+	dst = Grow(dst, len(src))
+	copy(dst, src)
+	return dst
+}

@@ -125,6 +125,9 @@ func ChoosePlan(req PlanRequest) (PlanChoice, error) {
 type ExecuteOptions struct {
 	FlatOutput bool
 	ChunkSize  int
+	// Parallelism is the number of probe workers (0/1 sequential,
+	// negative uses GOMAXPROCS); results are identical at any count.
+	Parallelism int
 	// CollectOutput receives output tuples (canonical NodeID layout);
 	// requires FlatOutput.
 	CollectOutput func(rows []int32)
@@ -138,6 +141,7 @@ func Execute(ds *storage.Dataset, choice PlanChoice, opts ExecuteOptions) (exec.
 		SemiJoins:     choice.SemiJoins,
 		FlatOutput:    opts.FlatOutput,
 		ChunkSize:     opts.ChunkSize,
+		Parallelism:   opts.Parallelism,
 		CollectOutput: opts.CollectOutput,
 	})
 }

@@ -1,0 +1,41 @@
+package exec
+
+import (
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+// TestAllocationsChunkCountInvariant pins the zero-allocation probe
+// hot path: a run's allocations come from the build phase and from
+// worker scratch growing to steady state, never from per-chunk work.
+// Shrinking the chunk size 16x (so the executor processes 16x more
+// chunks) must therefore not meaningfully change the allocation count.
+// The seed executor allocated fresh probe results, key buffers, factor
+// chunks and flat intermediates for every chunk, and fails this test
+// by an order of magnitude.
+func TestAllocationsChunkCountInvariant(t *testing.T) {
+	tr := plan.Snowflake(3, 2, plan.FixedStats(0.7, 2))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 8000, Seed: 11})
+	order := plan.Order(tr.NonRoot())
+
+	for _, s := range cost.AllStrategies {
+		measure := func(chunkSize int) float64 {
+			return testing.AllocsPerRun(3, func() {
+				if _, err := Run(ds, Options{
+					Strategy: s, Order: order, FlatOutput: true, ChunkSize: chunkSize,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		few := measure(4096) // 2 chunks
+		many := measure(256) // 32 chunks
+		if many > few+40 || many > 2*few {
+			t.Errorf("%v: allocations scale with chunk count: %0.f allocs at 32 chunks vs %0.f at 2",
+				s, many, few)
+		}
+	}
+}

@@ -11,97 +11,91 @@ import (
 // intermediate tuple. Liveness kills propagate through the factor
 // chunk in both directions, making probes on ancestor attributes
 // "survival probes" exactly as the cost model assumes.
+//
+// Each worker reuses one factor.Chunk across all its driver chunks
+// (factor.Chunk.Reset recycles every node and buffer), and probes go
+// through the worker's reused key/probe scratch, so steady-state
+// execution allocates nothing per chunk.
 
-// runCOM executes the factorized pipeline chunk-at-a-time.
-func (r *run) runCOM() {
+// runCOMChunk executes the factorized pipeline for one driver chunk.
+func (w *worker) runCOMChunk(driverRows []int32) {
+	r := w.r
 	useBVP := r.filters != nil
-	r.driverChunks(func(driverRows []int32) {
-		chunk := factor.NewChunk(append([]int32(nil), driverRows...))
-		if r.opts.NoKillPropagation {
-			chunk.SetPropagation(false)
-		}
-		joined := map[plan.NodeID]bool{plan.Root: true}
+	chunk := w.chunk
+	chunk.Reset(driverRows)
+	if useBVP {
+		w.applyFiltersCOM(chunk, plan.Root)
+	}
+	for _, next := range r.opts.Order {
+		w.joinCOM(chunk, next)
 		if useBVP {
-			r.applyFiltersCOM(chunk, plan.Root, joined)
+			w.applyFiltersCOM(chunk, next)
 		}
-		for _, next := range r.opts.Order {
-			r.joinCOM(chunk, next)
-			joined[next] = true
-			if useBVP {
-				r.applyFiltersCOM(chunk, next, joined)
-			}
-			if chunk.Driver().LiveCount == 0 {
-				break
-			}
+		if chunk.Driver().LiveCount == 0 {
+			break
 		}
-		if chunk.Driver().LiveCount == 0 || len(chunk.Order()) != r.ds.Tree.Len() {
-			return
-		}
-		expand := chunk.Expand
+	}
+	if chunk.Driver().LiveCount == 0 || len(chunk.Order()) != r.ds.Tree.Len() {
+		return
+	}
+	switch {
+	case r.opts.FlatOutput:
+		w.emitPassed = 0
+		var expanded int64
 		if r.opts.BreadthFirstExpand {
-			expand = chunk.ExpandBreadthFirst
+			expanded = chunk.ExpandBreadthFirst(w.emitFn)
+		} else {
+			expanded = chunk.Expand(w.emitFn)
 		}
-		switch {
-		case r.opts.FlatOutput:
-			var passed int64
-			expanded := expand(func(rows []int32) {
-				if r.emitTuple(rows) {
-					passed++
-				}
-			})
-			r.stats.OutputTuples += passed
-			r.stats.ExpandedTuples += expanded
-		case r.residuals != nil:
-			// Factorized output with residual predicates: the
-			// representation cannot express the cyclic constraint, so
-			// counting requires enumerating (without materializing).
-			var passed int64
-			chunk.Expand(func(rows []int32) {
-				if r.residualsOKJoinOrder(rows) {
-					passed++
-				}
-			})
-			r.stats.OutputTuples += passed
-			r.stats.FactorizedRows += int64(chunk.FactorizedSize())
-		default:
-			r.stats.OutputTuples += chunk.CountOutput()
-			r.stats.FactorizedRows += int64(chunk.FactorizedSize())
-		}
-	})
+		w.outputTuples += w.emitPassed
+		w.expandedTuples += expanded
+	case r.residuals != nil:
+		// Factorized output with residual predicates: the
+		// representation cannot express the cyclic constraint, so
+		// counting requires enumerating (without materializing).
+		w.emitPassed = 0
+		chunk.Expand(w.residualCountFn)
+		w.outputTuples += w.emitPassed
+		w.factorizedRows += int64(chunk.FactorizedSize())
+	default:
+		w.outputTuples += chunk.CountOutput()
+		w.factorizedRows += int64(chunk.FactorizedSize())
+	}
 }
 
 // joinCOM probes the live rows of next's parent node into next's hash
 // table and appends the resulting factor node.
-func (r *run) joinCOM(chunk *factor.Chunk, next plan.NodeID) {
+func (w *worker) joinCOM(chunk *factor.Chunk, next plan.NodeID) {
+	r := w.r
 	parentID := r.ds.Tree.Parent(next)
 	pNode := chunk.Node(parentID)
-	parentRel := r.ds.Relation(parentID)
-	keyCol := parentRel.Column(r.ds.KeyColumn(next))
+	keyCol := r.ds.Relation(parentID).Column(r.ds.KeyColumn(next))
 	table := r.tables[next]
 
-	keys := make([]int64, len(pNode.Rows))
-	for i, row := range pNode.Rows {
-		keys[i] = keyCol[row]
-	}
-	res := table.ProbeBatch(keys, pNode.Live)
-	r.stats.HashProbes += int64(res.Probed)
-	r.stats.PerRelationProbes[next] += int64(res.Probed)
-	chunk.AddJoin(parentID, next, res.Counts, res.Rows)
+	keys := w.gatherKeys(keyCol, pNode.Rows)
+	table.ProbeBatchInto(keys, pNode.Live, &w.probe)
+	w.hashProbes += int64(w.probe.Probed)
+	w.perRel[next] += int64(w.probe.Probed)
+	chunk.AddJoin(parentID, next, w.probe.Counts, w.probe.Rows)
 }
 
-// applyFiltersCOM applies the bitvectors of at's unjoined children to
-// the live rows of at's factor node, killing misses (with propagation).
-func (r *run) applyFiltersCOM(chunk *factor.Chunk, at plan.NodeID, joined map[plan.NodeID]bool) {
+// applyFiltersCOM applies the bitvectors of at's children to the live
+// rows of at's factor node, killing misses (with propagation). Rows
+// are probed one at a time against the current liveness: a kill that
+// propagates back into the node spares the later probes the cost model
+// no longer charges for.
+func (w *worker) applyFiltersCOM(chunk *factor.Chunk, at plan.NodeID) {
+	r := w.r
 	node := chunk.Node(at)
 	rel := r.ds.Relation(at)
-	for _, c := range r.unjoinedChildren(at, joined) {
+	for _, c := range r.children[at] {
 		filter := r.filters[c]
 		keyCol := rel.Column(r.ds.KeyColumn(c))
 		for i, row := range node.Rows {
 			if !node.Live[i] {
 				continue
 			}
-			r.stats.FilterProbes++
+			w.filterProbes++
 			if !filter.MayContain(keyCol[row]) {
 				chunk.Kill(node, i)
 			}

@@ -8,14 +8,26 @@
 // The executor counts every hash-table probe, bitvector probe,
 // semi-join probe and expanded tuple; the weighted sum of these is the
 // abstract cost metric validated against the cost model in Fig. 14.
+//
+// Execution is chunk-pipelined and optionally parallel: the build
+// phase produces read-only hash tables and bitvectors once, after
+// which driver chunks are distributed across Options.Parallelism
+// workers, each owning private scratch state (tuple buffers, probe
+// buffers, a reusable factor chunk, per-worker counters). The output
+// checksum is an order-independent sum and every counter is additive,
+// so results are bit-identical at any worker count.
 package exec
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"m2mjoin/internal/bitvector"
+	"m2mjoin/internal/buf"
 	"m2mjoin/internal/cost"
+	"m2mjoin/internal/factor"
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
@@ -36,6 +48,12 @@ type Options struct {
 	FlatOutput bool
 	// ChunkSize is the driver batch size (DefaultChunkSize when 0).
 	ChunkSize int
+	// Parallelism is the number of worker goroutines that process
+	// driver chunks after the shared (read-only) build phase. 0 and 1
+	// run sequentially on the calling goroutine; negative values use
+	// GOMAXPROCS. All counters and the checksum are bit-identical at
+	// any worker count.
+	Parallelism int
 	// BitsPerKey controls bitvector density for the BVP strategies
 	// (bitvector.BitsPerKeyDefault when 0).
 	BitsPerKey int
@@ -61,8 +79,11 @@ type Options struct {
 	// base relations before execution (Section 2.1's assumption).
 	Selections []Selection
 	// CollectOutput, when set, receives every flat output tuple as the
-	// base-relation row indices in ascending NodeID order. Only valid
-	// with FlatOutput. Intended for small verification queries.
+	// base-relation row indices in ascending NodeID order. The slice is
+	// freshly allocated per call and may be retained. Only valid with
+	// FlatOutput; with Parallelism > 1 the callback is serialized but
+	// the tuple order is nondeterministic. Intended for small
+	// verification queries.
 	CollectOutput func(rows []int32)
 }
 
@@ -88,11 +109,13 @@ type Stats struct {
 	// FactorizedRows is the total number of live factorized rows
 	// (COM variants, factorized output).
 	FactorizedRows int64
-	// PerRelationProbes breaks HashProbes down by probed relation.
+	// PerRelationProbes breaks HashProbes down by probed relation. This
+	// map view is built once at the end of a run from the executor's
+	// dense per-relation counters.
 	PerRelationProbes map[plan.NodeID]int64
 	// Checksum is an order-independent hash over the flat output; equal
 	// inputs and queries must yield equal checksums across all six
-	// strategies and any join order.
+	// strategies, any join order, and any parallelism.
 	Checksum uint64
 }
 
@@ -115,6 +138,13 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = DefaultChunkSize
 	}
+	if opts.Parallelism <= 0 {
+		if opts.Parallelism < 0 {
+			opts.Parallelism = runtime.GOMAXPROCS(0)
+		} else {
+			opts.Parallelism = 1
+		}
+	}
 	if opts.CollectOutput != nil && !opts.FlatOutput {
 		return Stats{}, fmt.Errorf("exec: CollectOutput requires FlatOutput")
 	}
@@ -128,16 +158,18 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 			return Stats{}, fmt.Errorf("exec: %w", err)
 		}
 	}
+
+	nrel := ds.Tree.Len()
 	r := &run{ds: ds, opts: opts, residuals: newResidualChecker(ds, opts.Residuals)}
-	r.stats.PerRelationProbes = make(map[plan.NodeID]int64, ds.Tree.Len())
+	r.perRel = make([]int64, nrel)
 	r.baseMasks = selectionMasks(ds, opts.Selections)
-	r.driverLive = r.baseMasks[plan.Root]
+	r.driverLive = maskAt(r.baseMasks, plan.Root)
 
 	switch opts.Strategy {
 	case cost.STD, cost.COM:
-		r.buildTables(r.baseMasks)
+		r.buildTables()
 	case cost.BVPSTD, cost.BVPCOM:
-		r.buildTables(r.baseMasks)
+		r.buildTables()
 		r.buildFilters()
 	case cost.SJSTD, cost.SJCOM:
 		r.semiJoinPass() // builds reduced tables as it goes
@@ -145,90 +177,307 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 		return Stats{}, fmt.Errorf("exec: unknown strategy %v", opts.Strategy)
 	}
 
-	switch opts.Strategy {
-	case cost.STD, cost.BVPSTD, cost.SJSTD:
-		r.runSTD()
-	case cost.COM, cost.BVPCOM, cost.SJCOM:
-		r.runCOM()
+	r.prepareLayout()
+	r.execute()
+
+	r.stats.PerRelationProbes = make(map[plan.NodeID]int64, nrel-1)
+	for _, id := range ds.Tree.NonRoot() {
+		r.stats.PerRelationProbes[id] = r.perRel[id]
 	}
 	return r.stats, nil
 }
 
-// run holds the per-execution state.
+// run holds the state shared by all workers of one execution. After
+// the build phase everything here is read-only (workers accumulate
+// into private state and are merged at the end), except stats/perRel,
+// which only the build phase and merge touch.
 type run struct {
 	ds    *storage.Dataset
 	opts  Options
 	stats Stats
 
-	tables    map[plan.NodeID]*hashtable.Table
-	filters   map[plan.NodeID]*bitvector.Filter
+	// tables and filters are dense per-relation state indexed by
+	// NodeID; entry 0 (the driver) is always nil.
+	tables  []*hashtable.Table
+	filters []*bitvector.Filter
+
 	residuals *residualChecker
-	// baseMasks are the pushed-down selection masks per relation (nil
-	// entries or a nil map mean all-live).
-	baseMasks map[plan.NodeID]storage.Bitmap
+	// baseMasks are the pushed-down selection masks per relation,
+	// indexed by NodeID (nil entries or a nil slice mean all-live).
+	baseMasks []storage.Bitmap
 	// driverLive restricts the driver scan: the selection mask, further
 	// reduced by the semi-join pass for SJ strategies. Nil = all live.
 	driverLive storage.Bitmap
 
+	// layoutPos maps NodeID -> column position in the join-order tuple
+	// layout (driver at 0, Order[i] at i+1).
+	layoutPos []int
 	// canonical maps join-order position -> position in the canonical
-	// (ascending NodeID) output tuple layout; tupleBuf is the reused
-	// emission buffer.
+	// (ascending NodeID) output tuple layout.
 	canonical []int
-	tupleBuf  []int32
+	// children[id] are id's children in ascending NodeID order: the
+	// bitvectors applied when id materializes. (A child is always
+	// joined after its parent materializes, so all children are
+	// unjoined at that point.)
+	children [][]plan.NodeID
+
+	// perRel are the merged per-relation hash-probe counters.
+	perRel []int64
+
+	// collectMu serializes CollectOutput callbacks across workers.
+	collectMu     sync.Mutex
+	collectLocked bool
+}
+
+// maskAt returns the liveness mask of id (nil = all live).
+func maskAt(masks []storage.Bitmap, id plan.NodeID) storage.Bitmap {
+	if masks == nil {
+		return nil
+	}
+	return masks[id]
 }
 
 // buildTables constructs the hash table of every non-root relation on
-// its parent-join key, honoring optional liveness masks.
-func (r *run) buildTables(live map[plan.NodeID]storage.Bitmap) {
+// its parent-join key, honoring optional selection masks. Relations
+// build independently, so the work fans out across the configured
+// worker count; each table is identical to a sequential build.
+func (r *run) buildTables() {
 	t := r.ds.Tree
-	r.tables = make(map[plan.NodeID]*hashtable.Table, t.Len()-1)
-	for _, id := range t.NonRoot() {
-		r.tables[id] = hashtable.Build(r.ds.Relation(id), r.ds.KeyColumn(id), live[id])
-	}
+	r.tables = make([]*hashtable.Table, t.Len())
+	r.forEachNonRoot(func(id plan.NodeID) {
+		r.tables[id] = hashtable.Build(r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id))
+	})
 }
 
 // buildFilters constructs one bitvector per non-root relation over its
 // build-side join key, honoring selection masks.
 func (r *run) buildFilters() {
 	t := r.ds.Tree
-	r.filters = make(map[plan.NodeID]*bitvector.Filter, t.Len()-1)
-	for _, id := range t.NonRoot() {
+	r.filters = make([]*bitvector.Filter, t.Len())
+	r.forEachNonRoot(func(id plan.NodeID) {
 		r.filters[id] = bitvector.BuildFromColumn(
-			r.ds.Relation(id), r.ds.KeyColumn(id), r.baseMasks[id], r.opts.BitsPerKey)
+			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), r.opts.BitsPerKey)
+	})
+}
+
+// forEachNonRoot runs fn for every non-root relation, in parallel when
+// the run is parallel. fn must touch only its own relation's state.
+func (r *run) forEachNonRoot(fn func(id plan.NodeID)) {
+	ids := r.ds.Tree.NonRoot()
+	if r.opts.Parallelism <= 1 || len(ids) < 2 {
+		for _, id := range ids {
+			fn(id)
+		}
+		return
+	}
+	p := r.opts.Parallelism
+	if p > len(ids) {
+		p = len(ids)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < p; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				fn(ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// prepareLayout precomputes the layout tables the probe hot path
+// indexes instead of consulting maps: join-order column positions, the
+// canonical output permutation, and per-node child lists.
+func (r *run) prepareLayout() {
+	t := r.ds.Tree
+	nrel := t.Len()
+	r.layoutPos = make([]int, nrel)
+	r.canonical = make([]int, nrel)
+	// NodeIDs are dense 0..nrel-1 and Order is a permutation of the
+	// non-root IDs, so the canonical (ascending NodeID) position of the
+	// relation at join-order position i is simply its NodeID.
+	r.canonical[0] = int(plan.Root)
+	for i, id := range r.opts.Order {
+		r.layoutPos[id] = i + 1
+		r.canonical[i+1] = int(id)
+	}
+	r.children = make([][]plan.NodeID, nrel)
+	for i := 0; i < nrel; i++ {
+		// Children are created in ascending NodeID order by plan.AddChild.
+		r.children[i] = t.Children(plan.NodeID(i))
 	}
 }
 
-// unjoinedChildren returns the children of id not in the joined set,
-// ascending by NodeID: the bitvectors applied when id materializes.
-func (r *run) unjoinedChildren(id plan.NodeID, joined map[plan.NodeID]bool) []plan.NodeID {
-	var out []plan.NodeID
-	for _, c := range r.ds.Tree.Children(id) {
-		if !joined[c] {
-			out = append(out, c)
+// driverRows materializes the driver row indices surviving the
+// selection mask and (for SJ strategies) the semi-join reduction. The
+// returned slice is shared read-only by all workers; chunks are
+// sub-slices of it.
+func (r *run) driverRows() []int32 {
+	n := r.ds.Relation(plan.Root).NumRows()
+	rows := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if r.driverLive != nil && !r.driverLive[i] {
+			continue
+		}
+		rows = append(rows, int32(i))
+	}
+	return rows
+}
+
+// execute distributes driver chunks over the configured number of
+// workers and merges their private counters deterministically.
+func (r *run) execute() {
+	live := r.driverRows()
+	cs := r.opts.ChunkSize
+	nChunks := (len(live) + cs - 1) / cs
+	p := r.opts.Parallelism
+	if p > nChunks {
+		p = nChunks
+	}
+	if p <= 1 {
+		w := newWorker(r)
+		for i := 0; i < nChunks; i++ {
+			w.runChunk(chunkOf(live, i, cs))
+		}
+		r.merge(w)
+		return
+	}
+
+	r.collectLocked = r.opts.CollectOutput != nil
+	workers := make([]*worker, p)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := range workers {
+		workers[wi] = newWorker(r)
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nChunks {
+					return
+				}
+				w.runChunk(chunkOf(live, i, cs))
+			}
+		}(workers[wi])
+	}
+	wg.Wait()
+	for _, w := range workers {
+		r.merge(w)
+	}
+}
+
+// chunkOf returns the i-th driver chunk: a read-only sub-slice.
+func chunkOf(live []int32, i, chunkSize int) []int32 {
+	lo := i * chunkSize
+	hi := lo + chunkSize
+	if hi > len(live) {
+		hi = len(live)
+	}
+	return live[lo:hi]
+}
+
+// merge folds one worker's private counters into the run totals. All
+// counters are additive and the checksum is an order-independent sum,
+// so the merged stats are independent of worker count and scheduling.
+func (r *run) merge(w *worker) {
+	r.stats.HashProbes += w.hashProbes
+	r.stats.FilterProbes += w.filterProbes
+	r.stats.OutputTuples += w.outputTuples
+	r.stats.ExpandedTuples += w.expandedTuples
+	r.stats.IntermediateTuples += w.intermediateTuples
+	r.stats.FactorizedRows += w.factorizedRows
+	r.stats.Checksum += w.checksum
+	for i, v := range w.perRel {
+		r.perRel[i] += v
+	}
+}
+
+// worker owns the scratch state for processing driver chunks: probe
+// buffers, tuple buffers, ping-pong STD columns and a reusable factor
+// chunk. In steady state a worker allocates nothing per chunk.
+type worker struct {
+	r *run
+
+	// Private counters, merged into run.stats at the end.
+	hashProbes         int64
+	filterProbes       int64
+	outputTuples       int64
+	expandedTuples     int64
+	intermediateTuples int64
+	factorizedRows     int64
+	checksum           uint64
+	perRel             []int64
+
+	// Shared probe scratch.
+	keys  []int64
+	probe hashtable.ProbeResult
+	keep  []bool
+
+	// tupleBuf holds the canonical-layout tuple during emission;
+	// rowsBuf holds the join-order tuple STD emission gathers into.
+	tupleBuf []int32
+	rowsBuf  []int32
+
+	// STD scratch: two column sets (join-order layout) that ping-pong
+	// between input and output of each join.
+	colsA, colsB [][]int32
+
+	// COM scratch: the reusable factor chunk, plus the expansion
+	// callbacks (built once so per-chunk expansion allocates no
+	// closures) and their shared pass counter.
+	chunk           *factor.Chunk
+	emitFn          func(rows []int32)
+	residualCountFn func(rows []int32)
+	emitPassed      int64
+}
+
+func newWorker(r *run) *worker {
+	nrel := r.ds.Tree.Len()
+	w := &worker{
+		r:        r,
+		perRel:   make([]int64, nrel),
+		tupleBuf: make([]int32, nrel),
+		rowsBuf:  make([]int32, nrel),
+	}
+	switch r.opts.Strategy {
+	case cost.STD, cost.BVPSTD, cost.SJSTD:
+		w.colsA = make([][]int32, nrel)
+		w.colsB = make([][]int32, nrel)
+	default:
+		w.chunk = factor.NewChunk(nil)
+		if r.opts.NoKillPropagation {
+			w.chunk.SetPropagation(false)
+		}
+		w.emitFn = func(rows []int32) {
+			if w.emitTuple(rows) {
+				w.emitPassed++
+			}
+		}
+		w.residualCountFn = func(rows []int32) {
+			if w.residualsOKJoinOrder(rows) {
+				w.emitPassed++
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return w
 }
 
-// canonicalPositions computes, for the join-order tuple layout
-// [driver, order...], the permutation into ascending-NodeID layout.
-func (r *run) canonicalPositions() []int {
-	if r.canonical != nil {
-		return r.canonical
+// runChunk processes one driver chunk under the run's strategy.
+func (w *worker) runChunk(driverRows []int32) {
+	switch w.r.opts.Strategy {
+	case cost.STD, cost.BVPSTD, cost.SJSTD:
+		w.runSTDChunk(driverRows)
+	default:
+		w.runCOMChunk(driverRows)
 	}
-	ids := append([]plan.NodeID{plan.Root}, r.opts.Order...)
-	sorted := append([]plan.NodeID(nil), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	posOf := make(map[plan.NodeID]int, len(sorted))
-	for i, id := range sorted {
-		posOf[id] = i
-	}
-	r.canonical = make([]int, len(ids))
-	for i, id := range ids {
-		r.canonical[i] = posOf[id]
-	}
-	return r.canonical
 }
 
 // emitTuple records one flat output tuple (rows in join-order layout),
@@ -236,59 +485,49 @@ func (r *run) canonicalPositions() []int {
 // collected tuples are independent of the join order. Tuples failing a
 // residual predicate are dropped; the return value reports whether the
 // tuple was emitted.
-func (r *run) emitTuple(joinOrderRows []int32) bool {
-	canon := r.canonicalPositions()
-	if cap(r.tupleBuf) < len(joinOrderRows) {
-		r.tupleBuf = make([]int32, len(joinOrderRows))
-	}
-	tmp := r.tupleBuf[:len(joinOrderRows)]
-	for i, p := range canon {
+func (w *worker) emitTuple(joinOrderRows []int32) bool {
+	r := w.r
+	tmp := w.tupleBuf[:len(joinOrderRows)]
+	for i, p := range r.canonical {
 		tmp[p] = joinOrderRows[i]
 	}
 	if !r.residuals.ok(tmp) {
 		return false
 	}
-	r.stats.Checksum += checksumCanonical(tmp)
+	w.checksum += checksumCanonical(tmp)
 	if r.opts.CollectOutput != nil {
-		r.opts.CollectOutput(tmp)
+		out := append([]int32(nil), tmp...) // callers may retain the slice
+		if r.collectLocked {
+			r.collectMu.Lock()
+			r.opts.CollectOutput(out)
+			r.collectMu.Unlock()
+		} else {
+			r.opts.CollectOutput(out)
+		}
 	}
 	return true
 }
 
 // residualsOKJoinOrder checks the residual predicates for a tuple in
 // join-order layout without emitting it.
-func (r *run) residualsOKJoinOrder(joinOrderRows []int32) bool {
+func (w *worker) residualsOKJoinOrder(joinOrderRows []int32) bool {
+	r := w.r
 	if r.residuals == nil {
 		return true
 	}
-	canon := r.canonicalPositions()
-	if cap(r.tupleBuf) < len(joinOrderRows) {
-		r.tupleBuf = make([]int32, len(joinOrderRows))
-	}
-	tmp := r.tupleBuf[:len(joinOrderRows)]
-	for i, p := range canon {
+	tmp := w.tupleBuf[:len(joinOrderRows)]
+	for i, p := range r.canonical {
 		tmp[p] = joinOrderRows[i]
 	}
 	return r.residuals.ok(tmp)
 }
 
-// driverChunks invokes fn with successive batches of driver row
-// indices, honoring the semi-join liveness mask when present.
-func (r *run) driverChunks(fn func(rows []int32)) {
-	driver := r.ds.Relation(plan.Root)
-	n := driver.NumRows()
-	chunk := make([]int32, 0, r.opts.ChunkSize)
-	for i := 0; i < n; i++ {
-		if r.driverLive != nil && !r.driverLive[i] {
-			continue
-		}
-		chunk = append(chunk, int32(i))
-		if len(chunk) == r.opts.ChunkSize {
-			fn(chunk)
-			chunk = chunk[:0]
-		}
+// gatherKeys fills the worker key buffer with keyCol[row] for each row.
+func (w *worker) gatherKeys(keyCol storage.Column, rows []int32) []int64 {
+	w.keys = buf.Grow(w.keys, len(rows))
+	keys := w.keys
+	for i, row := range rows {
+		keys[i] = keyCol[row]
 	}
-	if len(chunk) > 0 {
-		fn(chunk)
-	}
+	return keys
 }

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+// TestParallelStatsParity is the central determinism test of the
+// parallel executor: one mid-size query, every strategy, worker counts
+// {1, 2, 8} — the full Stats (checksum and every probe counter,
+// including the per-relation breakdown) must be identical across
+// counts. Run under `go test -race` this also proves the worker pool
+// is data-race free.
+func TestParallelStatsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := plan.Snowflake(3, 2, plan.UniformStats(rng, 0.6, 0.9, 1, 3))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 3000, Seed: 7})
+	order := plan.Order(tr.NonRoot()) // ascending IDs honor precedence
+
+	for _, flat := range []bool{true, false} {
+		for _, s := range cost.AllStrategies {
+			var base Stats
+			for i, par := range []int{1, 2, 8} {
+				stats, err := Run(ds, Options{
+					Strategy:    s,
+					Order:       order,
+					FlatOutput:  flat,
+					ChunkSize:   256, // many chunks so all workers engage
+					Parallelism: par,
+				})
+				if err != nil {
+					t.Fatalf("%v parallelism %d: %v", s, par, err)
+				}
+				if i == 0 {
+					base = stats
+					if stats.OutputTuples == 0 {
+						t.Fatalf("%v: degenerate test, no output", s)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(stats, base) {
+					t.Errorf("%v flat=%v: stats diverge at parallelism %d:\n got %+v\nwant %+v",
+						s, flat, par, stats, base)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesReference: parallel runs on random small datasets
+// must still reproduce the brute-force oracle exactly.
+func TestParallelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		ds := smallDataset(int64(trial*17+5), 6, 60+rng.Intn(60))
+		wantCount, wantSum := Reference(ds)
+		orders := ds.Tree.AllOrders()
+		order := orders[rng.Intn(len(orders))]
+		for _, s := range cost.AllStrategies {
+			stats, err := Run(ds, Options{
+				Strategy:    s,
+				Order:       order,
+				FlatOutput:  true,
+				ChunkSize:   16,
+				Parallelism: 4,
+			})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, s, err)
+			}
+			if stats.OutputTuples != wantCount || (wantCount > 0 && stats.Checksum != wantSum) {
+				t.Fatalf("trial %d %v: parallel output diverged: count %d want %d",
+					trial, s, stats.OutputTuples, wantCount)
+			}
+		}
+	}
+}
+
+// TestParallelNegativeUsesAllCPUs: Parallelism < 0 must run (using
+// GOMAXPROCS workers) and produce the sequential result.
+func TestParallelNegativeUsesAllCPUs(t *testing.T) {
+	ds := smallDataset(9, 5, 200)
+	order := ds.Tree.AllOrders()[0]
+	seq, err := Run(ds, Options{Strategy: cost.COM, Order: order, FlatOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ds, Options{Strategy: cost.COM, Order: order, FlatOutput: true,
+		ChunkSize: 32, Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("negative parallelism diverged:\n got %+v\nwant %+v", par, seq)
+	}
+}
+
+// TestCollectOutputRetainsTuples is the regression test for the
+// CollectOutput aliasing footgun: callers that retain the callback
+// slices must see stable tuples, not a reused buffer overwritten by
+// later emissions.
+func TestCollectOutputRetainsTuples(t *testing.T) {
+	ds := smallDataset(55, 4, 30)
+	wantCount, _ := Reference(ds)
+	if wantCount < 2 {
+		t.Fatalf("degenerate test dataset: %d output tuples", wantCount)
+	}
+	var retained [][]int32
+	_, err := Run(ds, Options{
+		Strategy:   cost.COM,
+		Order:      ds.Tree.AllOrders()[0],
+		FlatOutput: true,
+		CollectOutput: func(rows []int32) {
+			retained = append(retained, rows) // retain, no copy
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(retained)) != wantCount {
+		t.Fatalf("collected %d tuples, want %d", len(retained), wantCount)
+	}
+	sums := make(map[uint64]int, len(retained))
+	for _, rows := range retained {
+		sums[checksumCanonical(rows)]++
+	}
+	// Reference emits each distinct tuple once; if the executor handed
+	// out a reused buffer, every retained slice would alias the final
+	// tuple and the distinct count would collapse.
+	if len(sums) != len(retained) {
+		t.Errorf("retained tuples alias each other: %d distinct of %d", len(sums), len(retained))
+	}
+}
+
+// TestCollectOutputParallel: the collected tuple multiset must be
+// independent of parallelism (order is not guaranteed).
+func TestCollectOutputParallel(t *testing.T) {
+	ds := smallDataset(31, 5, 120)
+	order := ds.Tree.AllOrders()[0]
+	collect := func(par int) []uint64 {
+		var sums []uint64
+		_, err := Run(ds, Options{
+			Strategy:    cost.BVPSTD,
+			Order:       order,
+			FlatOutput:  true,
+			ChunkSize:   16,
+			Parallelism: par,
+			CollectOutput: func(rows []int32) {
+				sums = append(sums, checksumCanonical(rows))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(sums, func(i, j int) bool { return sums[i] < sums[j] })
+		return sums
+	}
+	seq := collect(1)
+	par := collect(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel CollectOutput multiset diverged: %d vs %d tuples", len(par), len(seq))
+	}
+}
+
+// TestParallelWithResidualsAndSelections: the shared residual checker
+// and pushed-down selections must behave identically under the worker
+// pool, across strategies and output modes.
+func TestParallelWithResidualsAndSelections(t *testing.T) {
+	tr := plan.NewTree("R1")
+	a := tr.AddChild(plan.Root, plan.EdgeStats{M: 0.7, Fo: 2}, "R2")
+	tr.AddChild(a, plan.EdgeStats{M: 0.7, Fo: 2}, "R3")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.7, Fo: 2}, "R4")
+	ds := workload.Generate(tr, workload.Config{DriverRows: 800, Seed: 21})
+	residuals := []Residual{{RelA: 2, ColA: "v", RelB: 3, ColB: "v"}}
+	selections := []Selection{{Rel: 1, Column: "v", Value: ds.Relation(1).Column("v")[0]}}
+	order := plan.Order{1, 2, 3}
+
+	for _, flat := range []bool{true, false} {
+		for _, s := range cost.AllStrategies {
+			var base Stats
+			for i, par := range []int{1, 8} {
+				stats, err := Run(ds, Options{
+					Strategy: s, Order: order, FlatOutput: flat,
+					ChunkSize: 64, Parallelism: par,
+					Residuals: residuals, Selections: selections,
+				})
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				if i == 0 {
+					base = stats
+				} else if !reflect.DeepEqual(stats, base) {
+					t.Errorf("%v flat=%v: residual/selection stats diverge at parallelism %d:\n got %+v\nwant %+v",
+						s, flat, par, stats, base)
+				}
+			}
+		}
+	}
+}

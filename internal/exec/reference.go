@@ -33,7 +33,7 @@ func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selec
 	indexes := make(map[plan.NodeID]map[int64][]int32, t.Len()-1)
 	for _, c := range t.NonRoot() {
 		col := ds.Relation(c).Column(ds.KeyColumn(c))
-		mask := masks[c]
+		mask := maskAt(masks, c)
 		idx := make(map[int64][]int32, len(col))
 		for row, k := range col {
 			if mask != nil && !mask[row] {
@@ -74,7 +74,7 @@ func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selec
 	}
 
 	driverRows := ds.Relation(plan.Root).NumRows()
-	driverMask := masks[plan.Root]
+	driverMask := maskAt(masks, plan.Root)
 	for i := 0; i < driverRows; i++ {
 		if driverMask != nil && !driverMask[i] {
 			continue

@@ -33,18 +33,18 @@ func (s Selection) Validate(ds *storage.Dataset) error {
 	return nil
 }
 
-// selectionMasks evaluates all selections and returns one liveness
-// bitmap per touched relation (relations without selections map to
-// nil, meaning all-live).
-func selectionMasks(ds *storage.Dataset, selections []Selection) map[plan.NodeID]storage.Bitmap {
+// selectionMasks evaluates all selections and returns liveness bitmaps
+// indexed densely by NodeID (nil entries — and a nil result when there
+// are no selections at all — mean all-live).
+func selectionMasks(ds *storage.Dataset, selections []Selection) []storage.Bitmap {
 	if len(selections) == 0 {
 		return nil
 	}
-	masks := make(map[plan.NodeID]storage.Bitmap)
+	masks := make([]storage.Bitmap, ds.Tree.Len())
 	for _, s := range selections {
 		rel := ds.Relation(s.Rel)
-		mask, ok := masks[s.Rel]
-		if !ok {
+		mask := masks[s.Rel]
+		if mask == nil {
 			mask = storage.NewBitmap(rel.NumRows())
 			masks[s.Rel] = mask
 		}

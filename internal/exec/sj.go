@@ -12,20 +12,23 @@ import (
 // leaves' parents first, ending with the driver. The hash tables built
 // for the semi-joins are the same tables the phase-2 joins probe, so
 // the pass adds no extra build cost — the paper's "more efficient
-// variation" of the Yannakakis algorithm.
+// variation" of the Yannakakis algorithm. Probes run through the batch
+// ProbeContains API one driver chunk at a time, reducing the liveness
+// mask in place.
 
 // semiJoinPass reduces all relations bottom-up and leaves behind:
 // r.tables (hash tables over the reduced relations) and r.driverLive
-// (the fully reduced driver mask).
+// (the fully reduced driver mask). It runs single-threaded before the
+// workers start.
 func (r *run) semiJoinPass() {
 	t := r.ds.Tree
-	r.tables = make(map[plan.NodeID]*hashtable.Table, t.Len()-1)
+	r.tables = make([]*hashtable.Table, t.Len())
 
 	for _, p := range t.BottomUp() {
 		children := r.semiJoinOrder(p)
 		rel := r.ds.Relation(p)
 		// Start from the pushed-down selection mask, if any.
-		mask := r.baseMasks[p]
+		mask := maskAt(r.baseMasks, p)
 		if len(children) > 0 {
 			if mask == nil {
 				mask = storage.NewBitmap(rel.NumRows())
@@ -35,15 +38,7 @@ func (r *run) semiJoinPass() {
 			for _, c := range children {
 				keyCol := rel.Column(r.ds.KeyColumn(c))
 				table := r.tables[c]
-				for row := range mask {
-					if !mask[row] {
-						continue
-					}
-					r.stats.SemiJoinProbes++
-					if !table.Contains(keyCol[row]) {
-						mask[row] = false
-					}
-				}
+				r.semiJoinReduce(table, keyCol, mask)
 			}
 		}
 		if p != plan.Root {
@@ -54,6 +49,15 @@ func (r *run) semiJoinPass() {
 			r.driverLive = mask
 		}
 	}
+}
+
+// semiJoinReduce clears mask bits for rows whose key has no match in
+// table through one batch probe over the whole key column (the column
+// is already the []int64 layout ProbeContains wants, and sel/out share
+// the mask for in-place reduction). Only rows whose mask bit is still
+// set are probed (and counted).
+func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask storage.Bitmap) {
+	r.stats.SemiJoinProbes += int64(table.ProbeContains(keyCol, mask, mask))
 }
 
 // semiJoinOrder returns the order in which p's children are probed in

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"m2mjoin/internal/buf"
 	"m2mjoin/internal/plan"
 )
 
@@ -9,135 +10,114 @@ import (
 // the next join runs, so each intermediate tuple probes every
 // subsequent operator — including the redundant probes on ancestor
 // attributes that the paper's cost model charges it for.
+//
+// The flat intermediate is held as one column of base-relation row
+// indices per joined relation in the worker's ping-pong column sets
+// (join-order layout, column 0 is the driver); each join reads one set
+// and writes the other, so steady-state execution reuses the same
+// backing arrays for every chunk.
 
-// flatChunk is a fully materialized intermediate result: one column of
-// base-relation row indices per joined relation, in join order
-// (column 0 is the driver).
-type flatChunk struct {
-	ids  []plan.NodeID // relation per column
-	cols [][]int32     // equal lengths: one row per intermediate tuple
-}
-
-func (f *flatChunk) rows() int {
-	if len(f.cols) == 0 {
-		return 0
-	}
-	return len(f.cols[0])
-}
-
-func (f *flatChunk) colOf(id plan.NodeID) []int32 {
-	for i, x := range f.ids {
-		if x == id {
-			return f.cols[i]
-		}
-	}
-	panic("exec: flatChunk missing relation column")
-}
-
-// runSTD executes the standard pipeline chunk-at-a-time.
-func (r *run) runSTD() {
+// runSTDChunk executes the standard pipeline for one driver chunk.
+func (w *worker) runSTDChunk(driverRows []int32) {
+	r := w.r
 	useBVP := r.filters != nil
-	r.driverChunks(func(driverRows []int32) {
-		f := &flatChunk{
-			ids:  []plan.NodeID{plan.Root},
-			cols: [][]int32{append([]int32(nil), driverRows...)},
-		}
-		joined := map[plan.NodeID]bool{plan.Root: true}
+	cur, spare := w.colsA, w.colsB
+	cur[0] = append(cur[0][:0], driverRows...)
+	width := 1
+	if useBVP {
+		w.applyFiltersSTD(cur, width, plan.Root)
+	}
+	for _, next := range r.opts.Order {
+		w.joinSTD(cur, spare, width, next)
+		cur, spare = spare, cur
+		width++
 		if useBVP {
-			r.applyFiltersSTD(f, plan.Root, joined)
+			w.applyFiltersSTD(cur, width, next)
 		}
-		for _, next := range r.opts.Order {
-			f = r.joinSTD(f, next)
-			joined[next] = true
-			if useBVP {
-				r.applyFiltersSTD(f, next, joined)
-			}
-			if f.rows() == 0 {
-				break
-			}
+		if len(cur[0]) == 0 {
+			break
 		}
-		if f.rows() > 0 && len(f.ids) == r.ds.Tree.Len() {
-			tuple := make([]int32, len(f.ids))
-			for i := 0; i < f.rows(); i++ {
-				for c := range f.cols {
-					tuple[c] = f.cols[c][i]
-				}
-				if r.emitTuple(tuple) {
-					r.stats.OutputTuples++
-				}
-			}
+	}
+	w.colsA, w.colsB = cur, spare // keep grown buffers for the next chunk
+	if len(cur[0]) == 0 || width != r.ds.Tree.Len() {
+		return
+	}
+	tuple := w.rowsBuf[:width]
+	for i := range cur[0] {
+		for c := 0; c < width; c++ {
+			tuple[c] = cur[c][i]
 		}
-	})
+		if w.emitTuple(tuple) {
+			w.outputTuples++
+		}
+	}
 }
 
 // joinSTD probes every intermediate tuple into next's hash table and
-// materializes the expanded result.
-func (r *run) joinSTD(f *flatChunk, next plan.NodeID) *flatChunk {
+// materializes the expanded result into the spare column set.
+func (w *worker) joinSTD(cur, out [][]int32, width int, next plan.NodeID) {
+	r := w.r
 	parent := r.ds.Tree.Parent(next)
-	parentRel := r.ds.Relation(parent)
-	keyCol := parentRel.Column(r.ds.KeyColumn(next))
-	parentRows := f.colOf(parent)
+	keyCol := r.ds.Relation(parent).Column(r.ds.KeyColumn(next))
+	parentRows := cur[r.layoutPos[parent]]
 	table := r.tables[next]
 
-	n := f.rows()
-	keys := make([]int64, n)
-	for i, row := range parentRows {
-		keys[i] = keyCol[row]
-	}
-	res := table.ProbeBatch(keys, nil)
-	r.stats.HashProbes += int64(res.Probed)
-	r.stats.PerRelationProbes[next] += int64(res.Probed)
+	n := len(parentRows)
+	keys := w.gatherKeys(keyCol, parentRows)
+	table.ProbeBatchInto(keys, nil, &w.probe)
+	res := &w.probe
+	w.hashProbes += int64(res.Probed)
+	w.perRel[next] += int64(res.Probed)
 
-	out := &flatChunk{
-		ids:  append(append([]plan.NodeID(nil), f.ids...), next),
-		cols: make([][]int32, len(f.ids)+1),
-	}
 	total := len(res.Rows)
-	for c := range f.cols {
-		col := make([]int32, 0, total)
+	for c := 0; c < width; c++ {
+		col := out[c][:0]
+		curCol := cur[c]
 		for i := 0; i < n; i++ {
-			v := f.cols[c][i]
+			v := curCol[i]
 			for k := res.Offsets[i]; k < res.Offsets[i+1]; k++ {
 				col = append(col, v)
 			}
 		}
-		out.cols[c] = col
+		out[c] = col
 	}
-	out.cols[len(f.ids)] = res.Rows
-	r.stats.IntermediateTuples += int64(total)
-	return out
+	out[width] = append(out[width][:0], res.Rows...)
+	w.intermediateTuples += int64(total)
 }
 
-// applyFiltersSTD applies the bitvectors of at's unjoined children to
-// the flat chunk, compacting pruned tuples away. Each surviving tuple
-// is probed against each filter in ascending child order.
-func (r *run) applyFiltersSTD(f *flatChunk, at plan.NodeID, joined map[plan.NodeID]bool) {
+// applyFiltersSTD applies the bitvectors of at's children to the flat
+// chunk, compacting pruned tuples away. Each surviving tuple is probed
+// against each filter in ascending child order.
+func (w *worker) applyFiltersSTD(cols [][]int32, width int, at plan.NodeID) {
+	r := w.r
 	rel := r.ds.Relation(at)
-	atRows := f.colOf(at)
-	for _, c := range r.unjoinedChildren(at, joined) {
+	atPos := r.layoutPos[at]
+	for _, c := range r.children[at] {
 		filter := r.filters[c]
 		keyCol := rel.Column(r.ds.KeyColumn(c))
-		keep := make([]bool, len(atRows))
+		atRows := cols[atPos]
+		n := len(atRows)
+		keys := w.gatherKeys(keyCol, atRows)
+		w.keep = buf.Grow(w.keep, n)
+		keep := w.keep
+		w.filterProbes += int64(filter.ProbeContains(keys, nil, keep))
 		kept := 0
-		for i, row := range atRows {
-			r.stats.FilterProbes++
-			if filter.MayContain(keyCol[row]) {
-				keep[i] = true
+		for _, k := range keep {
+			if k {
 				kept++
 			}
 		}
-		if kept == len(atRows) {
+		if kept == n {
 			continue
 		}
-		for ci := range f.cols {
-			col := f.cols[ci][:0]
+		for ci := 0; ci < width; ci++ {
+			col := cols[ci][:0]
 			for i, k := range keep {
 				if k {
-					col = append(col, f.cols[ci][i])
+					col = append(col, cols[ci][i])
 				}
 			}
-			f.cols[ci] = col
+			cols[ci] = col
 		}
-		atRows = f.colOf(at)
 	}
 }

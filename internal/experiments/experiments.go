@@ -113,6 +113,14 @@ func budgetFor(s Scale) float64 {
 	return quickBudget
 }
 
+// Parallelism is the probe-worker count every harness passes to the
+// executor (0/1 sequential, negative uses GOMAXPROCS). It is a
+// package-level knob — cmd/m2mbench sets it from -parallelism before
+// running figures — because the FigN signatures are part of the
+// benchmark harness contract. Probe counters and checksums are
+// identical at any setting; only wall-clock times change.
+var Parallelism int
+
 // runStrategy executes one strategy and returns timing plus stats, or
 // a timeout marker when the cost model predicts the run would exceed
 // the budget.
@@ -124,7 +132,9 @@ func runStrategy(ds *storage.Dataset, model *cost.Model, s cost.Strategy,
 		return measured{timedOut: true}
 	}
 	start := time.Now()
-	stats, err := exec.Run(ds, exec.Options{Strategy: s, Order: order, FlatOutput: flat})
+	stats, err := exec.Run(ds, exec.Options{
+		Strategy: s, Order: order, FlatOutput: flat, Parallelism: Parallelism,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: execution failed: %v", err))
 	}

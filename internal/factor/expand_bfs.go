@@ -1,7 +1,5 @@
 package factor
 
-import "m2mjoin/internal/plan"
-
 // This file implements the breadth-first result expansion the paper
 // sketches as future work (Section 4.3): instead of walking the factor
 // tree depth-first one tuple at a time, a sequential counting step
@@ -15,16 +13,8 @@ import "m2mjoin/internal/plan"
 // order, exactly as with Expand; the slice is reused across calls. The
 // return value is the number of tuples emitted.
 func (c *Chunk) ExpandBreadthFirst(emit func(rows []int32)) int64 {
-	nodes := make([]*Node, len(c.order))
-	parentPos := make([]int, len(c.order))
-	pos := map[plan.NodeID]int{}
-	for i, id := range c.order {
-		nodes[i] = c.nodes[id]
-		pos[id] = i
-		if i > 0 {
-			parentPos[i] = pos[nodes[i].Parent.ID]
-		}
-	}
+	c.expandLayout()
+	nodes, parentPos := c.expNodes, c.parentPos
 
 	// Counting step: total output tuples (for preallocation) computed
 	// bottom-up, as the paper's breadth-first variant requires.

@@ -11,11 +11,19 @@
 // child segments has no survivor) and downward (descendant rows of a
 // dead row can never contribute to output), which is what makes probes
 // on ancestor attributes "survival probes".
+//
+// Chunks are designed for reuse: Reset rewinds a chunk to a fresh
+// driver batch while recycling every node and buffer it accumulated,
+// so a worker that processes thousands of driver chunks allocates only
+// while its buffers grow to steady-state size. All inputs passed to
+// NewChunk/Reset/AddJoin are copied into chunk-owned storage, so
+// callers may hand in reused scratch slices.
 package factor
 
 import (
 	"fmt"
 
+	"m2mjoin/internal/buf"
 	"m2mjoin/internal/plan"
 )
 
@@ -38,6 +46,10 @@ type Node struct {
 	// Live marks rows that can still contribute to an output tuple.
 	Live      []bool
 	LiveCount int
+
+	// weight is CountOutput scratch: output combinations contributed by
+	// the subtree rooted at each row.
+	weight []int64
 }
 
 // Segment returns the half-open row range of node rows belonging to
@@ -49,33 +61,98 @@ func (n *Node) Segment(p int) (int, int) {
 // Chunk is the factorized intermediate result for one batch of driver
 // tuples.
 type Chunk struct {
-	nodes map[plan.NodeID]*Node
+	nodes []*Node       // indexed by NodeID; nil entries are not joined
 	order []plan.NodeID // join order; order[0] is the driver
 	// noPropagation disables bidirectional kill propagation (ablation
 	// mode; see SetPropagation).
 	noPropagation bool
+
+	// pool recycles retired nodes across Reset calls, keyed by the
+	// NodeID they last served: successive chunks have identical
+	// structure, so buffers immediately match their role's size.
+	pool []*Node
+
+	// Expansion scratch, reused across Expand/ExpandBreadthFirst calls.
+	expNodes  []*Node
+	parentPos []int
+	current   []int32
+	baseRows  []int32
+	posOf     []int // NodeID -> position in order
+	emit      func(rows []int32)
+	expCount  int64
 }
 
 // NewChunk creates a factorized chunk holding the given driver rows
-// (base-relation row indices of the driver batch).
+// (base-relation row indices of the driver batch). The rows are copied
+// into chunk-owned storage.
 func NewChunk(driverRows []int32) *Chunk {
-	n := &Node{
-		ID:        plan.Root,
-		Rows:      driverRows,
-		Live:      make([]bool, len(driverRows)),
-		LiveCount: len(driverRows),
+	c := &Chunk{}
+	c.Reset(driverRows)
+	return c
+}
+
+// Reset rewinds the chunk to a fresh driver batch, recycling all nodes
+// and buffers. Kill propagation stays as configured by SetPropagation.
+func (c *Chunk) Reset(driverRows []int32) {
+	for len(c.pool) < len(c.nodes) {
+		c.pool = append(c.pool, nil)
 	}
+	for i, n := range c.nodes {
+		if n != nil {
+			c.pool[i] = n
+			c.nodes[i] = nil
+		}
+	}
+	c.order = c.order[:0]
+
+	n := c.newNode(plan.Root, nil)
+	n.Rows = buf.Copy(n.Rows, driverRows)
+	n.Live = buf.Grow(n.Live, len(driverRows))
 	for i := range n.Live {
 		n.Live[i] = true
 	}
-	return &Chunk{
-		nodes: map[plan.NodeID]*Node{plan.Root: n},
-		order: []plan.NodeID{plan.Root},
+	n.LiveCount = len(driverRows)
+	c.setNode(plan.Root, n)
+}
+
+// newNode takes the node that last served id from the pool (or
+// allocates one) and resets its linkage; data slices keep their
+// capacity for reuse.
+func (c *Chunk) newNode(id plan.NodeID, parent *Node) *Node {
+	var n *Node
+	if int(id) < len(c.pool) && c.pool[id] != nil {
+		n = c.pool[id]
+		c.pool[id] = nil
+	} else {
+		n = &Node{}
 	}
+	n.ID = id
+	n.Parent = parent
+	n.Children = n.Children[:0]
+	n.ParentRow = n.ParentRow[:0]
+	n.Counts = n.Counts[:0]
+	n.Offsets = n.Offsets[:0]
+	n.LiveCount = 0
+	return n
+}
+
+// setNode registers n under id, growing the dense node table on demand
+// (NodeIDs need not be contiguous in hand-built chunks).
+func (c *Chunk) setNode(id plan.NodeID, n *Node) {
+	for int(id) >= len(c.nodes) {
+		c.nodes = append(c.nodes, nil)
+	}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
 }
 
 // Node returns the factor node for relation id; nil if not joined yet.
-func (c *Chunk) Node(id plan.NodeID) *Node { return c.nodes[id] }
+func (c *Chunk) Node(id plan.NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
 
 // Driver returns the driver node.
 func (c *Chunk) Driver() *Node { return c.nodes[plan.Root] }
@@ -87,32 +164,30 @@ func (c *Chunk) Order() []plan.NodeID { return c.order }
 // AddJoin appends the result of joining parent relation parentID with
 // relation id: counts[p] matches for each parent row p (aligned with
 // the parent node's Rows), and rows holding the concatenated matching
-// base rows. Parent rows with zero matches are killed, propagating in
-// both directions. Dead parent rows must have been skipped during the
+// base rows. Both slices are copied, so the caller may reuse them.
+// Parent rows with zero matches are killed, propagating in both
+// directions. Dead parent rows must have been skipped during the
 // probe, i.e. counts[p] must be 0 wherever the parent row is dead.
 func (c *Chunk) AddJoin(parentID, id plan.NodeID, counts, rows []int32) *Node {
-	parent := c.nodes[parentID]
+	parent := c.Node(parentID)
 	if parent == nil {
 		panic(fmt.Sprintf("factor: AddJoin: parent %d not in chunk", parentID))
 	}
 	if len(counts) != len(parent.Rows) {
 		panic(fmt.Sprintf("factor: AddJoin: %d counts for %d parent rows", len(counts), len(parent.Rows)))
 	}
-	if _, dup := c.nodes[id]; dup {
+	if c.Node(id) != nil {
 		panic(fmt.Sprintf("factor: AddJoin: relation %d already joined", id))
 	}
-	n := &Node{
-		ID:        id,
-		Parent:    parent,
-		Rows:      rows,
-		ParentRow: make([]int32, len(rows)),
-		Counts:    counts,
-		Offsets:   make([]int32, len(counts)+1),
-		Live:      make([]bool, len(rows)),
-		LiveCount: len(rows),
-	}
+	n := c.newNode(id, parent)
+	n.Rows = buf.Copy(n.Rows, rows)
+	n.ParentRow = buf.Grow(n.ParentRow, len(rows))
+	n.Counts = buf.Copy(n.Counts, counts)
+	n.Offsets = buf.Grow(n.Offsets, len(counts)+1)
+	n.Live = buf.Grow(n.Live, len(rows))
+	n.LiveCount = len(rows)
 	var off int32
-	for p, cnt := range counts {
+	for p, cnt := range n.Counts {
 		n.Offsets[p] = off
 		for j := off; j < off+cnt; j++ {
 			n.ParentRow[j] = int32(p)
@@ -125,12 +200,11 @@ func (c *Chunk) AddJoin(parentID, id plan.NodeID, counts, rows []int32) *Node {
 		panic(fmt.Sprintf("factor: AddJoin: counts sum %d != rows %d", off, len(rows)))
 	}
 	parent.Children = append(parent.Children, n)
-	c.nodes[id] = n
-	c.order = append(c.order, id)
+	c.setNode(id, n)
 
 	// A live parent row with no matches dies now.
-	for p := range counts {
-		if counts[p] == 0 && parent.Live[p] {
+	for p := range n.Counts {
+		if n.Counts[p] == 0 && parent.Live[p] {
 			c.Kill(parent, p)
 		}
 	}
@@ -178,66 +252,90 @@ func (c *Chunk) anyLiveInSegment(n *Node, p int) bool {
 // nodes: the size of the factorized (compressed) output.
 func (c *Chunk) FactorizedSize() int {
 	total := 0
-	for _, n := range c.nodes {
-		total += n.LiveCount
+	for _, id := range c.order {
+		total += c.nodes[id].LiveCount
 	}
 	return total
+}
+
+// expandLayout fills the chunk's expansion scratch: nodes in join
+// order, each node's parent position, and per-node cursors.
+func (c *Chunk) expandLayout() {
+	c.expNodes = c.expNodes[:0]
+	c.parentPos = c.parentPos[:0]
+	for int(maxID(c.order)) >= len(c.posOf) {
+		c.posOf = append(c.posOf, 0)
+	}
+	for i, id := range c.order {
+		n := c.nodes[id]
+		c.expNodes = append(c.expNodes, n)
+		c.posOf[id] = i
+		if i > 0 {
+			c.parentPos = append(c.parentPos, c.posOf[n.Parent.ID])
+		} else {
+			c.parentPos = append(c.parentPos, 0)
+		}
+	}
+	c.current = buf.Grow(c.current, len(c.order))
+	c.baseRows = buf.Grow(c.baseRows, len(c.order))
+}
+
+func maxID(ids []plan.NodeID) plan.NodeID {
+	m := plan.Root
+	for _, id := range ids {
+		if id > m {
+			m = id
+		}
+	}
+	return m
 }
 
 // Expand enumerates every flat output tuple in depth-first order
 // (Section 4.3, Fig. 9) and calls emit with, for each joined relation
 // in join order, the base-relation row index selected for that tuple.
 // The rows slice is reused across calls; emit must not retain it.
-// It returns the number of tuples emitted.
+// It returns the number of tuples emitted. The recursion runs through
+// chunk methods and scratch fields so repeated expansion allocates
+// nothing.
 func (c *Chunk) Expand(emit func(rows []int32)) int64 {
-	nodes := make([]*Node, len(c.order))
-	parentPos := make([]int, len(c.order)) // index into nodes of each node's parent
-	pos := map[plan.NodeID]int{}
-	for i, id := range c.order {
-		nodes[i] = c.nodes[id]
-		pos[id] = i
-		if i > 0 {
-			parentPos[i] = pos[nodes[i].Parent.ID]
-		}
-	}
-	current := make([]int32, len(nodes))  // chosen row position within each node
-	baseRows := make([]int32, len(nodes)) // chosen base-relation rows
-	var count int64
+	c.expandLayout()
+	c.emit = emit
+	c.expCount = 0
+	c.expandRec(0)
+	c.emit = nil
+	return c.expCount
+}
 
-	var rec func(k int)
-	rec = func(k int) {
-		if k == len(nodes) {
-			count++
-			if emit != nil {
-				emit(baseRows)
-			}
-			return
+func (c *Chunk) expandRec(k int) {
+	if k == len(c.expNodes) {
+		c.expCount++
+		if c.emit != nil {
+			c.emit(c.baseRows)
 		}
-		n := nodes[k]
-		if k == 0 {
-			for i, live := range n.Live {
-				if !live {
-					continue
-				}
-				current[0] = int32(i)
-				baseRows[0] = n.Rows[i]
-				rec(1)
-			}
-			return
-		}
-		p := int(current[parentPos[k]])
-		lo, hi := n.Segment(p)
-		for j := lo; j < hi; j++ {
-			if !n.Live[j] {
+		return
+	}
+	n := c.expNodes[k]
+	if k == 0 {
+		for i, live := range n.Live {
+			if !live {
 				continue
 			}
-			current[k] = int32(j)
-			baseRows[k] = n.Rows[j]
-			rec(k + 1)
+			c.current[0] = int32(i)
+			c.baseRows[0] = n.Rows[i]
+			c.expandRec(1)
 		}
+		return
 	}
-	rec(0)
-	return count
+	p := int(c.current[c.parentPos[k]])
+	lo, hi := n.Segment(p)
+	for j := lo; j < hi; j++ {
+		if !n.Live[j] {
+			continue
+		}
+		c.current[k] = int32(j)
+		c.baseRows[k] = n.Rows[j]
+		c.expandRec(k + 1)
+	}
 }
 
 // CountOutput returns the number of flat output tuples without
@@ -245,35 +343,32 @@ func (c *Chunk) Expand(emit func(rows []int32)) int64 {
 // sequential "counting" step the paper describes for breadth-first
 // expansion).
 func (c *Chunk) CountOutput() int64 {
-	// weight[node][row] = number of output combinations contributed by
-	// the subtree of `node` rooted at `row`.
-	weights := make(map[*Node][]int64, len(c.nodes))
-	// Process in reverse join order: children before parents is not
-	// guaranteed by join order reversal alone (a child is always joined
-	// after its parent, so reverse order sees children first).
+	// weight[row] = number of output combinations contributed by the
+	// subtree of the node rooted at row. Reverse join order sees
+	// children before parents (a child is always joined after its
+	// parent).
 	for i := len(c.order) - 1; i >= 0; i-- {
 		n := c.nodes[c.order[i]]
-		w := make([]int64, len(n.Rows))
+		n.weight = buf.Grow(n.weight, len(n.Rows))
 		for r := range n.Rows {
 			if !n.Live[r] {
+				n.weight[r] = 0
 				continue
 			}
 			prod := int64(1)
 			for _, child := range n.Children {
-				cw := weights[child]
 				lo, hi := child.Segment(r)
 				var sum int64
 				for j := lo; j < hi; j++ {
-					sum += cw[j]
+					sum += child.weight[j]
 				}
 				prod *= sum
 			}
-			w[r] = prod
+			n.weight[r] = prod
 		}
-		weights[n] = w
 	}
 	var total int64
-	for _, v := range weights[c.Driver()] {
+	for _, v := range c.Driver().weight {
 		total += v
 	}
 	return total

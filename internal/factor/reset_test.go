@@ -1,0 +1,88 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+// TestResetReusesChunk: a chunk driven through Reset across many
+// random batches must behave exactly like a freshly allocated chunk —
+// same expansion, count, and factorized size — while recycling its
+// node and buffer storage.
+func TestResetReusesChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	reused := NewChunk(nil)
+	for trial := 0; trial < 50; trial++ {
+		tr := plan.RandomTree(2+rng.Intn(5), rng, plan.UniformStats(rng, 0.3, 1, 1, 3))
+		seed := rng.Int63()
+
+		fresh := buildRandom(tr, rand.New(rand.NewSource(seed)), NewChunk(nil))
+		cycled := buildRandom(tr, rand.New(rand.NewSource(seed)), reused)
+
+		if f, c := fresh.Expand(nil), cycled.Expand(nil); f != c {
+			t.Fatalf("trial %d: Expand %d (fresh) != %d (reused)", trial, f, c)
+		}
+		if f, c := fresh.CountOutput(), cycled.CountOutput(); f != c {
+			t.Fatalf("trial %d: CountOutput %d != %d", trial, f, c)
+		}
+		if f, c := fresh.FactorizedSize(), cycled.FactorizedSize(); f != c {
+			t.Fatalf("trial %d: FactorizedSize %d != %d", trial, f, c)
+		}
+	}
+}
+
+// buildRandom resets c to a random driver batch and joins every tree
+// node with random counts and kills (mirrors randomChunk but through
+// an existing chunk).
+func buildRandom(tr *plan.Tree, rng *rand.Rand, c *Chunk) *Chunk {
+	driverRows := make([]int32, 3+rng.Intn(5))
+	for i := range driverRows {
+		driverRows[i] = int32(i)
+	}
+	c.Reset(driverRows)
+	var next int32 = 100
+	for _, id := range tr.TopDown() {
+		if id == plan.Root {
+			continue
+		}
+		parent := c.Node(tr.Parent(id))
+		counts := make([]int32, len(parent.Rows))
+		var rows []int32
+		for p := range counts {
+			if !parent.Live[p] {
+				continue
+			}
+			counts[p] = int32(rng.Intn(4))
+			for j := int32(0); j < counts[p]; j++ {
+				rows = append(rows, next)
+				next++
+			}
+		}
+		c.AddJoin(tr.Parent(id), id, counts, rows)
+	}
+	for _, id := range tr.TopDown() {
+		n := c.Node(id)
+		for i := range n.Rows {
+			if n.Live[i] && rng.Float64() < 0.15 {
+				c.Kill(n, i)
+			}
+		}
+	}
+	return c
+}
+
+// TestAddJoinCopiesInputs: AddJoin must copy counts and rows so
+// callers can reuse their probe scratch.
+func TestAddJoinCopiesInputs(t *testing.T) {
+	c := NewChunk([]int32{0, 1})
+	counts := []int32{1, 1}
+	rows := []int32{10, 11}
+	c.AddJoin(plan.Root, 1, counts, rows)
+	counts[0], rows[0] = 99, 99 // clobber the caller's scratch
+	n := c.Node(1)
+	if n.Counts[0] != 1 || n.Rows[0] != 10 {
+		t.Errorf("AddJoin aliases caller slices: counts=%v rows=%v", n.Counts, n.Rows)
+	}
+}

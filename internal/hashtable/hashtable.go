@@ -10,6 +10,7 @@ package hashtable
 import (
 	"math/bits"
 
+	"m2mjoin/internal/buf"
 	"m2mjoin/internal/storage"
 )
 
@@ -139,28 +140,95 @@ type ProbeResult struct {
 	// Probed is the number of keys actually probed (selection-vector
 	// hits); the abstract cost metric counts these.
 	Probed int
+
+	// heads is the hash-pass scratch: the chain head per key. Kept on
+	// the result so repeated ProbeBatchInto calls reuse it.
+	heads []int32
 }
 
 // ProbeBatch probes all keys whose selection entry is set (nil sel
 // probes all) and returns counts, offsets and concatenated match rows.
-// The result slices are freshly allocated per call; the engine reuses
-// chunks at a higher level.
+// The result slices are freshly allocated per call; the zero-allocation
+// hot path uses ProbeBatchInto with a reused ProbeResult instead.
 func (t *Table) ProbeBatch(keys []int64, sel []bool) ProbeResult {
-	res := ProbeResult{
-		Counts:  make([]int32, len(keys)),
-		Offsets: make([]int32, len(keys)+1),
-	}
-	res.Rows = make([]int32, 0, len(keys))
+	var res ProbeResult
+	t.ProbeBatchInto(keys, sel, &res)
+	return res
+}
+
+// ProbeBatchInto is ProbeBatch writing into a caller-owned result
+// whose slices are reused across calls: in steady state it allocates
+// nothing. The probe is split into a hash pass that locates every
+// selected key's chain head (amortizing the hash computation and
+// giving the memory system independent bucket loads to overlap) and a
+// chain-walk pass that verifies exact keys and gathers match rows.
+func (t *Table) ProbeBatchInto(keys []int64, sel []bool, res *ProbeResult) {
+	n := len(keys)
+	res.Counts = buf.Grow(res.Counts, n)
+	res.Offsets = buf.Grow(res.Offsets, n+1)
+	res.heads = buf.Grow(res.heads, n)
+	res.Rows = res.Rows[:0]
+	res.Probed = 0
+
+	// Hash pass.
 	for i, key := range keys {
 		if sel != nil && !sel[i] {
+			res.heads[i] = noEntry
+			continue
+		}
+		res.heads[i] = t.buckets[Hash64(key)>>t.shift]
+	}
+	// Chain-walk pass.
+	res.Offsets[0] = 0
+	for i, key := range keys {
+		if sel != nil && !sel[i] {
+			res.Counts[i] = 0
 			res.Offsets[i+1] = int32(len(res.Rows))
 			continue
 		}
 		res.Probed++
 		before := len(res.Rows)
-		res.Rows = t.AppendMatches(res.Rows, key)
+		for e := res.heads[i]; e != noEntry; e = t.next[e] {
+			if t.keys[e] == key {
+				res.Rows = append(res.Rows, t.rows[e])
+			}
+		}
 		res.Counts[i] = int32(len(res.Rows) - before)
 		res.Offsets[i+1] = int32(len(res.Rows))
 	}
-	return res
+}
+
+// ProbeContains is the batch semi-join probe: for every key whose sel
+// entry is set (nil sel probes all), out[i] reports whether the table
+// contains keys[i]; unselected lanes get out[i] = false. It returns
+// the number of keys probed. len(out) must equal len(keys). sel and
+// out may share backing storage (in-place mask reduction): sel[i] is
+// read before out[i] is written.
+func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) int {
+	probed := 0
+	for i, key := range keys {
+		if sel != nil && !sel[i] {
+			out[i] = false
+			continue
+		}
+		probed++
+		out[i] = t.Contains(key)
+	}
+	return probed
+}
+
+// ProbeCounts is the batch match-count probe: counts[i] receives the
+// number of build rows matching keys[i] for selected lanes, 0
+// otherwise. It returns the number of keys probed.
+func (t *Table) ProbeCounts(keys []int64, sel []bool, counts []int32) int {
+	probed := 0
+	for i, key := range keys {
+		if sel != nil && !sel[i] {
+			counts[i] = 0
+			continue
+		}
+		probed++
+		counts[i] = t.CountMatches(key)
+	}
+	return probed
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Record a benchmark baseline for the execution strategies, at
+# parallelism 1 and at the full worker sweep, into BENCH_baseline.json
+# (one JSON object per benchmark, plus environment metadata). Future
+# perf PRs compare against this trajectory.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-3x}"
+out="BENCH_baseline.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running strategy benchmarks (benchtime=$benchtime)..." >&2
+go test -bench='BenchmarkStrategies($|Parallel)' -benchtime="$benchtime" \
+    -benchmem -run='^$' -count=1 . | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; first = 1 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2; nsop = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, nsop, bytes, allocs
+}
+END {
+    if (!first) printf ",\n"
+    printf "  \"_meta\": {\"date\": \"%s\", \"cpu\": \"%s\", \"cpus\": %s}\n", date, cpu, ncpu
+    print "}"
+}' ncpu="$(nproc 2>/dev/null || echo 1)" "$raw" > "$out"
+
+echo "wrote $out" >&2
