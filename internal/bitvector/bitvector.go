@@ -9,6 +9,7 @@ package bitvector
 
 import (
 	"math/bits"
+	"sync"
 
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/storage"
@@ -44,17 +45,74 @@ func New(n, bitsPerKey int) *Filter {
 }
 
 // BuildFromColumn creates a filter containing every key of rel's
-// column whose live bit is set (nil live inserts all rows).
-func BuildFromColumn(rel *storage.Relation, column string, live storage.Bitmap, bitsPerKey int) *Filter {
+// column whose live bit is set (nil live inserts all rows). With a
+// sparse packed mask only set rows are visited.
+func BuildFromColumn(rel *storage.Relation, column string, live *storage.Bitmap, bitsPerKey int) *Filter {
+	return BuildFromColumnParallel(rel, column, live, bitsPerKey, 1)
+}
+
+// minParallelFilterRows gates the parallel filter build.
+const minParallelFilterRows = 4 * 1024
+
+// BuildFromColumnParallel is BuildFromColumn fanned out over the given
+// number of workers: each worker hashes a word-aligned span of rows
+// into a private filter of identical geometry, and the partial bit
+// arrays are OR-merged. OR is commutative and the filter is insertion-
+// order independent, so the result is bit-identical to the sequential
+// build at any worker count.
+func BuildFromColumnParallel(rel *storage.Relation, column string, live *storage.Bitmap, bitsPerKey, workers int) *Filter {
 	col := rel.Column(column)
 	f := New(len(col), bitsPerKey)
-	for row, key := range col {
-		if live != nil && !live[row] {
-			continue
+	if len(col) < minParallelFilterRows || workers <= 1 {
+		f.addRange(col, live, 0, len(col))
+		return f
+	}
+	// Word-aligned spans so each worker reads whole mask words.
+	spanWords := ((len(col)+63)/64 + workers - 1) / workers
+	span := spanWords * 64
+	parts := make([]*Filter, 0, workers)
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(col); lo += span {
+		hi := lo + span
+		if hi > len(col) {
+			hi = len(col)
 		}
-		f.Add(key)
+		p := New(len(col), bitsPerKey)
+		parts = append(parts, p)
+		wg.Add(1)
+		go func(p *Filter, lo, hi int) {
+			defer wg.Done()
+			p.addRange(col, live, lo, hi)
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		for i, w := range p.bits {
+			f.bits[i] |= w
+		}
+		f.n += p.n
 	}
 	return f
+}
+
+// addRange inserts the live keys of col[lo:hi). lo must be word-
+// aligned; hi must be word-aligned or len(col).
+func (f *Filter) addRange(col storage.Column, live *storage.Bitmap, lo, hi int) {
+	if live == nil {
+		for _, key := range col[lo:hi] {
+			f.Add(key)
+		}
+		return
+	}
+	words := live.Words()
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		w := words[wi]
+		base := wi << 6
+		for w != 0 {
+			f.Add(col[base+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
 }
 
 // Add registers a key.

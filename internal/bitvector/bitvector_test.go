@@ -61,7 +61,7 @@ func TestBuildFromColumn(t *testing.T) {
 	}
 	live := storage.NewBitmap(100)
 	for i := 50; i < 100; i++ {
-		live[i] = false
+		live.Clear(i)
 	}
 	f := BuildFromColumn(rel, "k", live, 8)
 	for i := int64(0); i < 50; i++ {

@@ -33,6 +33,10 @@ type PlanRequest struct {
 	// the tree's annotations.
 	Dataset      *storage.Dataset
 	MeasureStats bool
+	// StatsCache optionally memoizes edge-statistics measurement when
+	// MeasureStats is set. ChooseDriver shares one cache across all
+	// candidate drivers so each edge direction is scanned once.
+	StatsCache *workload.EdgeStatsCache
 	// FlatOutput includes the expansion cost for COM variants.
 	FlatOutput bool
 	// Weights default to cost.DefaultWeights().
@@ -68,7 +72,7 @@ func ChoosePlan(req PlanRequest) (PlanChoice, error) {
 	}
 	tree := req.Dataset.Tree
 	if req.MeasureStats {
-		tree = workload.MeasuredTree(req.Dataset)
+		tree = workload.MeasuredTreeCached(req.Dataset, req.StatsCache)
 	}
 	w := cost.DefaultWeights()
 	if req.Weights != nil {

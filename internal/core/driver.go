@@ -20,6 +20,11 @@ type DriverChoice struct {
 	Mapping map[plan.NodeID]plan.NodeID
 	// Plan is the chosen plan over the rerooted dataset.
 	Plan PlanChoice
+	// EdgeMeasurements is the number of edge-statistics data scans the
+	// enumeration performed. Each undirected edge has two probe
+	// directions measured at most once, so this is bounded by
+	// 2*(relations-1) regardless of how many drivers were tried.
+	EdgeMeasurements int
 }
 
 // ChooseDriver implements the paper's outer loop over driver
@@ -29,10 +34,16 @@ type DriverChoice struct {
 // wins. The inner plan selection follows req (its Dataset field is
 // overridden per candidate and MeasureStats is forced on, since
 // reversed edges have no annotations).
+//
+// Edge statistics are memoized across candidates: an undirected edge
+// has exactly two probe directions, each measured once and replayed
+// for every reroot and plan selection that needs it, so the
+// enumeration scans the data O(relations) times instead of O(n^2).
 func ChooseDriver(ds *storage.Dataset, req PlanRequest) (DriverChoice, error) {
 	if ds == nil {
 		return DriverChoice{}, fmt.Errorf("core: ChooseDriver requires a dataset")
 	}
+	cache := workload.NewEdgeStatsCache()
 	var best DriverChoice
 	found := false
 	for i := 0; i < ds.Tree.Len(); i++ {
@@ -45,11 +56,12 @@ func ChooseDriver(ds *storage.Dataset, req PlanRequest) (DriverChoice, error) {
 			cand = ds
 			mapping = identityMapping(ds.Tree.Len())
 		} else {
-			cand, mapping = workload.Reroot(ds, driver)
+			cand, mapping = workload.RerootCached(ds, driver, cache)
 		}
 		r := req
 		r.Dataset = cand
 		r.MeasureStats = true
+		r.StatsCache = cache
 		choice, err := ChoosePlan(r)
 		if err != nil {
 			return DriverChoice{}, fmt.Errorf("core: driver %d: %w", driver, err)
@@ -59,6 +71,7 @@ func ChooseDriver(ds *storage.Dataset, req PlanRequest) (DriverChoice, error) {
 			found = true
 		}
 	}
+	best.EdgeMeasurements = cache.Misses()
 	return best, nil
 }
 

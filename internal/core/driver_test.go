@@ -74,3 +74,27 @@ func TestChooseDriverNilDataset(t *testing.T) {
 		t.Errorf("expected error")
 	}
 }
+
+// TestChooseDriverMemoizesEdgeStats: driver enumeration over n
+// candidates must scan each of the 2*(n-1) edge directions at most
+// once instead of re-measuring per candidate — the reported
+// EdgeMeasurements count is the cache's miss counter.
+func TestChooseDriverMemoizesEdgeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3; trial++ {
+		n := 4 + rng.Intn(4)
+		tr := plan.RandomTree(n, rng, plan.UniformStats(rng, 0.3, 0.9, 1, 3))
+		ds := workload.Generate(tr, workload.Config{DriverRows: 200, Seed: int64(trial)})
+		dc, err := ChooseDriver(ds, PlanRequest{FlatOutput: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max := 2 * (tr.Len() - 1); dc.EdgeMeasurements > max {
+			t.Errorf("trial %d: %d edge measurements for %d relations, want <= %d",
+				trial, dc.EdgeMeasurements, tr.Len(), max)
+		}
+		if dc.EdgeMeasurements == 0 {
+			t.Errorf("trial %d: no measurements recorded", trial)
+		}
+	}
+}

@@ -9,13 +9,18 @@
 // semi-join probe and expanded tuple; the weighted sum of these is the
 // abstract cost metric validated against the cost model in Fig. 14.
 //
-// Execution is chunk-pipelined and optionally parallel: the build
-// phase produces read-only hash tables and bitvectors once, after
-// which driver chunks are distributed across Options.Parallelism
-// workers, each owning private scratch state (tuple buffers, probe
-// buffers, a reusable factor chunk, per-worker counters). The output
-// checksum is an order-independent sum and every counter is additive,
-// so results are bit-identical at any worker count.
+// Execution is chunk-pipelined and optionally parallel in both
+// phases. Phase 1 (the build phase) produces read-only hash tables,
+// bitvectors and — for SJ strategies — fully reduced word-packed
+// liveness masks, fanning out across Options.Parallelism workers:
+// relations build concurrently, each hash table is built by the
+// two-pass morsel scheme, and semi-join reduction splits the mask into
+// word-aligned chunks. Phase 2 then distributes driver chunks across
+// the same worker count, each worker owning private scratch state
+// (tuple buffers, probe buffers, a reusable factor chunk, per-worker
+// counters). The output checksum is an order-independent sum, every
+// counter is additive, and the phase-1 structures are bit-identical to
+// a sequential build, so results are identical at any worker count.
 package exec
 
 import (
@@ -48,9 +53,10 @@ type Options struct {
 	FlatOutput bool
 	// ChunkSize is the driver batch size (DefaultChunkSize when 0).
 	ChunkSize int
-	// Parallelism is the number of worker goroutines that process
-	// driver chunks after the shared (read-only) build phase. 0 and 1
-	// run sequentially on the calling goroutine; negative values use
+	// Parallelism is the number of worker goroutines used by both
+	// phases: phase-1 builds (hash tables, bitvectors, semi-join
+	// reduction) and the driver-chunk probe phase. 0 and 1 run
+	// sequentially on the calling goroutine; negative values use
 	// GOMAXPROCS. All counters and the checksum are bit-identical at
 	// any worker count.
 	Parallelism int
@@ -204,10 +210,11 @@ type run struct {
 	residuals *residualChecker
 	// baseMasks are the pushed-down selection masks per relation,
 	// indexed by NodeID (nil entries or a nil slice mean all-live).
-	baseMasks []storage.Bitmap
+	// Masks are word-packed; see storage.Bitmap.
+	baseMasks []*storage.Bitmap
 	// driverLive restricts the driver scan: the selection mask, further
 	// reduced by the semi-join pass for SJ strategies. Nil = all live.
-	driverLive storage.Bitmap
+	driverLive *storage.Bitmap
 
 	// layoutPos maps NodeID -> column position in the join-order tuple
 	// layout (driver at 0, Order[i] at i+1).
@@ -230,7 +237,7 @@ type run struct {
 }
 
 // maskAt returns the liveness mask of id (nil = all live).
-func maskAt(masks []storage.Bitmap, id plan.NodeID) storage.Bitmap {
+func maskAt(masks []*storage.Bitmap, id plan.NodeID) *storage.Bitmap {
 	if masks == nil {
 		return nil
 	}
@@ -239,25 +246,46 @@ func maskAt(masks []storage.Bitmap, id plan.NodeID) storage.Bitmap {
 
 // buildTables constructs the hash table of every non-root relation on
 // its parent-join key, honoring optional selection masks. Relations
-// build independently, so the work fans out across the configured
-// worker count; each table is identical to a sequential build.
+// build independently across the worker pool, and each individual
+// build additionally morsel-parallelizes over its share of the pool;
+// every table is bit-identical to a sequential build.
 func (r *run) buildTables() {
 	t := r.ds.Tree
 	r.tables = make([]*hashtable.Table, t.Len())
+	per := r.perBuildParallelism()
 	r.forEachNonRoot(func(id plan.NodeID) {
-		r.tables[id] = hashtable.Build(r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id))
+		r.tables[id] = hashtable.BuildParallel(
+			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), per)
 	})
 }
 
 // buildFilters constructs one bitvector per non-root relation over its
-// build-side join key, honoring selection masks.
+// build-side join key, honoring selection masks; like buildTables the
+// work fans out both across relations and within each filter build.
 func (r *run) buildFilters() {
 	t := r.ds.Tree
 	r.filters = make([]*bitvector.Filter, t.Len())
+	per := r.perBuildParallelism()
 	r.forEachNonRoot(func(id plan.NodeID) {
-		r.filters[id] = bitvector.BuildFromColumn(
-			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), r.opts.BitsPerKey)
+		r.filters[id] = bitvector.BuildFromColumnParallel(
+			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), r.opts.BitsPerKey, per)
 	})
+}
+
+// perBuildParallelism splits Options.Parallelism between the cross-
+// relation fan-out of forEachNonRoot and the morsel parallelism inside
+// one build, so a query with fewer relations than workers still uses
+// the whole pool during phase 1.
+func (r *run) perBuildParallelism() int {
+	nrel := r.ds.Tree.Len() - 1
+	if nrel < 1 {
+		return 1
+	}
+	per := r.opts.Parallelism / nrel
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // forEachNonRoot runs fn for every non-root relation, in parallel when
@@ -321,13 +349,17 @@ func (r *run) prepareLayout() {
 // sub-slices of it.
 func (r *run) driverRows() []int32 {
 	n := r.ds.Relation(plan.Root).NumRows()
-	rows := make([]int32, 0, n)
-	for i := 0; i < n; i++ {
-		if r.driverLive != nil && !r.driverLive[i] {
-			continue
+	if r.driverLive == nil {
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
 		}
-		rows = append(rows, int32(i))
+		return rows
 	}
+	rows := make([]int32, 0, r.driverLive.Count())
+	r.driverLive.ForEachSet(func(row int) {
+		rows = append(rows, int32(row))
+	})
 	return rows
 }
 

@@ -36,7 +36,7 @@ func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selec
 		mask := maskAt(masks, c)
 		idx := make(map[int64][]int32, len(col))
 		for row, k := range col {
-			if mask != nil && !mask[row] {
+			if mask != nil && !mask.Get(row) {
 				continue
 			}
 			idx[k] = append(idx[k], int32(row))
@@ -76,7 +76,7 @@ func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selec
 	driverRows := ds.Relation(plan.Root).NumRows()
 	driverMask := maskAt(masks, plan.Root)
 	for i := 0; i < driverRows; i++ {
-		if driverMask != nil && !driverMask[i] {
+		if driverMask != nil && !driverMask.Get(i) {
 			continue
 		}
 		tuple[slot[plan.Root]] = int32(i)

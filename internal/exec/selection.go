@@ -33,14 +33,16 @@ func (s Selection) Validate(ds *storage.Dataset) error {
 	return nil
 }
 
-// selectionMasks evaluates all selections and returns liveness bitmaps
-// indexed densely by NodeID (nil entries — and a nil result when there
-// are no selections at all — mean all-live).
-func selectionMasks(ds *storage.Dataset, selections []Selection) []storage.Bitmap {
+// selectionMasks evaluates all selections and returns packed liveness
+// bitmaps indexed densely by NodeID (nil entries — and a nil result
+// when there are no selections at all — mean all-live). Stacked
+// selections on one relation probe only rows still live after the
+// earlier predicates.
+func selectionMasks(ds *storage.Dataset, selections []Selection) []*storage.Bitmap {
 	if len(selections) == 0 {
 		return nil
 	}
-	masks := make([]storage.Bitmap, ds.Tree.Len())
+	masks := make([]*storage.Bitmap, ds.Tree.Len())
 	for _, s := range selections {
 		rel := ds.Relation(s.Rel)
 		mask := masks[s.Rel]
@@ -49,11 +51,8 @@ func selectionMasks(ds *storage.Dataset, selections []Selection) []storage.Bitma
 			masks[s.Rel] = mask
 		}
 		col := rel.Column(s.Column)
-		for i := range mask {
-			if mask[i] && col[i] != s.Value {
-				mask[i] = false
-			}
-		}
+		value := s.Value
+		mask.Retain(func(row int) bool { return col[row] == value })
 	}
 	return masks
 }

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
@@ -12,52 +15,97 @@ import (
 // leaves' parents first, ending with the driver. The hash tables built
 // for the semi-joins are the same tables the phase-2 joins probe, so
 // the pass adds no extra build cost — the paper's "more efficient
-// variation" of the Yannakakis algorithm. Probes run through the batch
-// ProbeContains API one driver chunk at a time, reducing the liveness
-// mask in place.
+// variation" of the Yannakakis algorithm.
+//
+// Liveness is a word-packed storage.Bitmap. The pass owns exactly one
+// scratch bitmap, reused for every parent (a parent's mask is only
+// needed while its own reductions and hash-table build run), so mask
+// memory no longer scales with the relation count; the root's mask is
+// the last one produced and is handed off as the driver mask without
+// copying. Both the reduction probes (word-aligned chunks of the key
+// column) and the hash-table builds (two-pass morsel scheme) fan out
+// over Options.Parallelism workers with bit-identical results.
 
 // semiJoinPass reduces all relations bottom-up and leaves behind:
 // r.tables (hash tables over the reduced relations) and r.driverLive
-// (the fully reduced driver mask). It runs single-threaded before the
-// workers start.
+// (the fully reduced driver mask).
 func (r *run) semiJoinPass() {
 	t := r.ds.Tree
 	r.tables = make([]*hashtable.Table, t.Len())
 
+	var scratch *storage.Bitmap
 	for _, p := range t.BottomUp() {
 		children := r.semiJoinOrder(p)
 		rel := r.ds.Relation(p)
 		// Start from the pushed-down selection mask, if any.
 		mask := maskAt(r.baseMasks, p)
 		if len(children) > 0 {
-			if mask == nil {
-				mask = storage.NewBitmap(rel.NumRows())
-			} else {
-				mask = append(storage.Bitmap(nil), mask...)
+			if scratch == nil {
+				scratch = storage.NewEmptyBitmap(0)
 			}
+			if mask != nil {
+				scratch.CopyFrom(mask)
+			} else {
+				scratch.Reset(rel.NumRows())
+			}
+			mask = scratch
 			for _, c := range children {
 				keyCol := rel.Column(r.ds.KeyColumn(c))
-				table := r.tables[c]
-				r.semiJoinReduce(table, keyCol, mask)
+				r.semiJoinReduce(r.tables[c], keyCol, mask)
 			}
 		}
 		if p != plan.Root {
 			// Build the (reduced) hash table used both by later
-			// semi-joins from p's parent and by the phase-2 join.
-			r.tables[p] = hashtable.Build(rel, r.ds.KeyColumn(p), mask)
+			// semi-joins from p's parent and by the phase-2 join. The
+			// build reads the mask before scratch is reused for the
+			// next parent.
+			r.tables[p] = hashtable.BuildParallel(rel, r.ds.KeyColumn(p), mask, r.opts.Parallelism)
 		} else {
+			// BottomUp visits the root last, so the scratch mask is
+			// never reset again and can be adopted as the driver mask.
 			r.driverLive = mask
 		}
 	}
 }
 
+// minParallelReduceRows gates the chunked parallel reduction: tiny
+// masks are reduced on the calling goroutine.
+const minParallelReduceRows = 4 * 1024
+
 // semiJoinReduce clears mask bits for rows whose key has no match in
-// table through one batch probe over the whole key column (the column
-// is already the []int64 layout ProbeContains wants, and sel/out share
-// the mask for in-place reduction). Only rows whose mask bit is still
-// set are probed (and counted).
-func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask storage.Bitmap) {
-	r.stats.SemiJoinProbes += int64(table.ProbeContains(keyCol, mask, mask))
+// table, probing only set rows (skip-by-word iteration). Large masks
+// split into word-aligned chunks across the worker pool: each worker
+// owns disjoint mask words, so the reduction is race-free and the
+// resulting mask — and the probe count, which counts exactly the set
+// bits — is identical at any worker count.
+func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask *storage.Bitmap) {
+	n := mask.Len()
+	p := r.opts.Parallelism
+	if p <= 1 || n < minParallelReduceRows {
+		r.stats.SemiJoinProbes += int64(table.ReduceLive(keyCol, mask, 0, n))
+		return
+	}
+	nWords := (n + 63) / 64
+	if p > nWords {
+		p = nWords
+	}
+	spanWords := (nWords + p - 1) / p
+	span := spanWords * 64
+	var probed atomic.Int64
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += span {
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			probed.Add(int64(table.ReduceLive(keyCol, mask, lo, hi)))
+		}(lo, hi)
+	}
+	wg.Wait()
+	r.stats.SemiJoinProbes += probed.Load()
 }
 
 // semiJoinOrder returns the order in which p's children are probed in

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+	"m2mjoin/internal/workload"
+)
+
+// sjChainDataset builds a linear join tree of nrel relations, each
+// with `rows` rows (m=1, fo=1), carrying one selection per relation
+// that keeps a single row. The selections make the hash tables tiny,
+// so the run's allocation profile is dominated by exactly the thing
+// under test: the per-relation liveness masks of the selection pass
+// and the semi-join pass.
+func sjChainDataset(nrel, rows int) (*storage.Dataset, []Selection, plan.Order) {
+	tr := plan.NewTree("R0")
+	prev := plan.Root
+	for i := 1; i < nrel; i++ {
+		prev = tr.AddChild(prev, plan.EdgeStats{M: 1, Fo: 1}, "R")
+	}
+	ds := workload.Generate(tr, workload.Config{DriverRows: rows, Seed: 3})
+	sels := make([]Selection, nrel)
+	for i := 0; i < nrel; i++ {
+		sels[i] = Selection{Rel: plan.NodeID(i), Column: "id", Value: 5}
+	}
+	return ds, sels, plan.Order(tr.NonRoot())
+}
+
+// TestSemiJoinMaskBytesRelationCountInvariant extends the chunk-count
+// allocation gating to phase 1: the semi-join pass owns ONE pooled
+// scratch bitmap, so mask memory must not scale with the relation
+// count. The old pass copied a full byte-per-row mask per parent
+// (`append(Bitmap(nil), mask...)`), costing ~rows bytes per extra
+// relation; with the packed pooled scratch the marginal cost of an
+// extra relation is its (here tiny, selection-reduced) hash table plus
+// a rows/8-byte packed selection mask. The gate at rows/2 bytes per
+// extra relation fails the old behavior with 4x headroom.
+func TestSemiJoinMaskBytesRelationCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement in -short mode")
+	}
+	const rows = 1 << 15
+	bytesPerRun := func(nrel int) uint64 {
+		ds, sels, order := sjChainDataset(nrel, rows)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(ds, Options{
+					Strategy:   cost.SJSTD,
+					Order:      order,
+					FlatOutput: true,
+					Selections: sels,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return uint64(res.AllocedBytesPerOp())
+	}
+	small := bytesPerRun(4)
+	large := bytesPerRun(8)
+	if large < small {
+		return // marginal cost negative: trivially within budget
+	}
+	perExtra := (large - small) / 4
+	if perExtra > rows/2 {
+		t.Errorf("semi-join mask bytes scale with relation count: %d bytes per extra relation (budget %d); %d bytes at 4 relations, %d at 8",
+			perExtra, rows/2, small, large)
+	}
+}

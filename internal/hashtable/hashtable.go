@@ -9,6 +9,8 @@ package hashtable
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"m2mjoin/internal/buf"
 	"m2mjoin/internal/storage"
@@ -38,40 +40,177 @@ type Table struct {
 }
 
 // Build constructs a table over rel's key column, retaining only rows
-// where live is set (pass nil to retain all rows). This mirrors the
-// semi-join pass, which reduces build relations in place before the
-// join phase.
-func Build(rel *storage.Relation, keyColumn string, live storage.Bitmap) *Table {
+// whose live bit is set (pass nil to retain all rows). This mirrors
+// the semi-join pass, which reduces build relations in place before
+// the join phase. With a sparse live mask only set rows are visited:
+// dead regions are skipped a whole 64-row word at a time.
+func Build(rel *storage.Relation, keyColumn string, live *storage.Bitmap) *Table {
+	return BuildParallel(rel, keyColumn, live, 1)
+}
+
+// morselRows is the row granularity of the parallel build: 128 packed
+// bitmap words, so morsel boundaries are always word-aligned.
+const morselRows = 128 * 64
+
+// minParallelBuildRows gates the parallel build: below this the
+// goroutine fan-out costs more than the hashing it spreads.
+const minParallelBuildRows = 4 * 1024
+
+// BuildParallel is Build fanned out over the given number of workers
+// using a two-pass morsel scheme that reproduces the sequential table
+// bit-for-bit:
+//
+//  1. a cheap counting pass (popcount over the live mask) assigns each
+//     morsel its deterministic write offset into the pointer table, so
+//     the parallel pass can gather keys and row indices — and compute
+//     the expensive key hashes — into disjoint pre-sized slots;
+//  2. a sequential linking pass threads the bucket chains in pointer-
+//     table order from the precomputed bucket indices, which is exactly
+//     the order the sequential build inserts in.
+//
+// Pass 2 touches no hash computation, so the hashing work — the bulk
+// of build cost — scales with the worker count while the resulting
+// keys/rows/next/buckets arrays are identical at any parallelism.
+func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap, workers int) *Table {
 	keyCol := rel.Column(keyColumn)
-	n := 0
-	if live == nil {
-		n = len(keyCol)
-	} else {
-		n = live.Count()
+	total := len(keyCol)
+	count := total
+	if live != nil {
+		count = live.Count()
 	}
-	size := bucketCount(n)
+	size := bucketCount(count)
 	t := &Table{
-		keys:    make([]int64, 0, n),
-		rows:    make([]int32, 0, n),
-		next:    make([]int32, 0, n),
+		keys:    make([]int64, count),
+		rows:    make([]int32, count),
+		next:    make([]int32, count),
 		buckets: make([]int32, size),
 		shift:   uint(64 - bits.TrailingZeros64(uint64(size))),
 	}
 	for i := range t.buckets {
 		t.buckets[i] = noEntry
 	}
-	for row, key := range keyCol {
-		if live != nil && !live[row] {
-			continue
+	if count == 0 {
+		return t
+	}
+
+	nMorsels := (total + morselRows - 1) / morselRows
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+	if workers <= 1 || count < minParallelBuildRows {
+		t.buildSequential(keyCol, live)
+		return t
+	}
+
+	// Pass 1a: per-morsel live counts -> exclusive write offsets.
+	offsets := make([]int, nMorsels+1)
+	for m := 0; m < nMorsels; m++ {
+		lo := m * morselRows
+		hi := lo + morselRows
+		if hi > total {
+			hi = total
 		}
-		idx := int32(len(t.keys))
-		b := Hash64(key) >> t.shift
-		t.keys = append(t.keys, key)
-		t.rows = append(t.rows, int32(row))
-		t.next = append(t.next, t.buckets[b])
-		t.buckets[b] = idx
+		n := hi - lo
+		if live != nil {
+			n = live.CountRange(lo, hi)
+		}
+		offsets[m+1] = offsets[m] + n
+	}
+
+	// Pass 1b (parallel): gather keys/rows and hash bucket indices into
+	// each morsel's disjoint slot. The bucket index of entry i is
+	// parked in next[i] — the link pass below reads it before
+	// overwriting the slot with the chain link, so the parallel build
+	// needs no scratch allocation beyond the table itself.
+	var nextMorsel atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(nextMorsel.Add(1)) - 1
+				if m >= nMorsels {
+					return
+				}
+				lo := m * morselRows
+				hi := lo + morselRows
+				if hi > total {
+					hi = total
+				}
+				t.gatherMorsel(keyCol, live, lo, hi, offsets[m])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Pass 2: link the chains in pointer-table (= ascending row) order,
+	// consuming the parked bucket indices.
+	for i := range t.next {
+		b := t.next[i]
+		t.next[i] = t.buckets[b]
+		t.buckets[b] = int32(i)
 	}
 	return t
+}
+
+// buildSequential fills a pre-sized table in one pass, iterating only
+// set rows of the live mask.
+func (t *Table) buildSequential(keyCol storage.Column, live *storage.Bitmap) {
+	idx := 0
+	insert := func(row int) {
+		key := keyCol[row]
+		b := Hash64(key) >> t.shift
+		t.keys[idx] = key
+		t.rows[idx] = int32(row)
+		t.next[idx] = t.buckets[b]
+		t.buckets[b] = int32(idx)
+		idx++
+	}
+	if live == nil {
+		for row := range keyCol {
+			insert(row)
+		}
+		return
+	}
+	for wi, w := range live.Words() {
+		base := wi << 6
+		for w != 0 {
+			insert(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// gatherMorsel writes the keys, row indices and (parked in next) the
+// bucket indices of the live rows in [lo, hi) starting at
+// pointer-table offset off.
+func (t *Table) gatherMorsel(keyCol storage.Column, live *storage.Bitmap, lo, hi, off int) {
+	idx := off
+	if live == nil {
+		for row := lo; row < hi; row++ {
+			key := keyCol[row]
+			t.keys[idx] = key
+			t.rows[idx] = int32(row)
+			t.next[idx] = int32(Hash64(key) >> t.shift)
+			idx++
+		}
+		return
+	}
+	words := live.Words()
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		w := words[wi]
+		base := wi << 6
+		for w != 0 {
+			row := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			key := keyCol[row]
+			t.keys[idx] = key
+			t.rows[idx] = int32(row)
+			t.next[idx] = int32(Hash64(key) >> t.shift)
+			idx++
+		}
+	}
 }
 
 // bucketCount returns a power-of-two bucket count sized for load
@@ -213,6 +352,35 @@ func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) int {
 		}
 		probed++
 		out[i] = t.Contains(key)
+	}
+	return probed
+}
+
+// ReduceLive is the packed-mask semi-join probe: it clears the live
+// bit of every set row in [loRow, hiRow) whose key has no match in the
+// table, probing (and counting) only rows that are still set. loRow
+// must be word-aligned (a multiple of 64); hiRow must be word-aligned
+// or equal to live.Len() (the zero tail makes the final partial word
+// safe). Disjoint word-aligned ranges touch disjoint mask words,
+// so concurrent calls on the same mask are race-free — the chunked
+// parallel reduction of the semi-join pass splits on word boundaries.
+func (t *Table) ReduceLive(keyCol storage.Column, live *storage.Bitmap, loRow, hiRow int) int {
+	probed := 0
+	words := live.Words()
+	for wi := loRow >> 6; wi < (hiRow+63)>>6; wi++ {
+		w := words[wi]
+		if w == 0 {
+			continue
+		}
+		probed += bits.OnesCount64(w)
+		base := wi << 6
+		for m := w; m != 0; m &= m - 1 {
+			tz := bits.TrailingZeros64(m)
+			if !t.Contains(keyCol[base+tz]) {
+				w &^= 1 << uint(tz)
+			}
+		}
+		words[wi] = w
 	}
 	return probed
 }

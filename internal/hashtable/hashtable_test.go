@@ -49,7 +49,7 @@ func TestBuildAndProbe(t *testing.T) {
 func TestBuildWithLiveMask(t *testing.T) {
 	rel := buildRelation([]int64{5, 7, 5, 9})
 	live := storage.NewBitmap(4)
-	live[0] = false // drop one of the 5s
+	live.Clear(0) // drop one of the 5s
 	table := Build(rel, "k", live)
 	if table.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", table.Len())

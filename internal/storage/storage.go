@@ -1,7 +1,9 @@
 // Package storage provides the columnar storage substrate of the
 // prototype engine (Section 4.1-4.2): relations stored as vectors of
-// int64 columns, selection bitmaps, and the dataset abstraction that
-// binds base relations to the nodes of a join tree.
+// int64 columns, word-packed selection bitmaps (see Bitmap in
+// bitmap.go: one bit per row, popcount counting, skip-by-word live-row
+// iteration), and the dataset abstraction that binds base relations to
+// the nodes of a join tree.
 //
 // All attributes are int64. The techniques under study (factorized
 // execution, bitvector pruning, semi-join reduction) are agnostic to
@@ -102,30 +104,6 @@ func (r *Relation) Grow(n int) {
 			r.cols[i] = next
 		}
 	}
-}
-
-// Bitmap is a per-row liveness mask used by the semi-join reduction
-// pass and by selection vectors.
-type Bitmap []bool
-
-// NewBitmap returns a bitmap of n rows, all set.
-func NewBitmap(n int) Bitmap {
-	b := make(Bitmap, n)
-	for i := range b {
-		b[i] = true
-	}
-	return b
-}
-
-// Count returns the number of set rows.
-func (b Bitmap) Count() int {
-	n := 0
-	for _, v := range b {
-		if v {
-			n++
-		}
-	}
-	return n
 }
 
 // Dataset binds base relations to the nodes of a join tree. For every

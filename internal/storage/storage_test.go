@@ -77,10 +77,13 @@ func TestBitmap(t *testing.T) {
 	if b.Count() != 5 {
 		t.Errorf("fresh bitmap count = %d", b.Count())
 	}
-	b[1] = false
-	b[3] = false
+	b.Clear(1)
+	b.Clear(3)
 	if b.Count() != 3 {
 		t.Errorf("count after clears = %d", b.Count())
+	}
+	if b.Get(1) || !b.Get(2) {
+		t.Errorf("Get disagrees with Clear")
 	}
 }
 

@@ -154,10 +154,18 @@ func generateChild(t *plan.Tree, rels map[plan.NodeID]*storage.Relation,
 // fanout for probing from each parent into each child. These are the
 // "actual selectivities" of the robustness experiments.
 func Measure(ds *storage.Dataset) map[plan.NodeID]plan.EdgeStats {
+	return MeasureCached(ds, nil)
+}
+
+// MeasureCached is Measure with edge statistics served through cache
+// (nil measures directly). Driver enumeration measures the same edge
+// directions for every candidate tree; a shared cache scans the data
+// once per direction.
+func MeasureCached(ds *storage.Dataset, cache *EdgeStatsCache) map[plan.NodeID]plan.EdgeStats {
 	t := ds.Tree
 	out := make(map[plan.NodeID]plan.EdgeStats, t.Len()-1)
 	for _, c := range t.NonRoot() {
-		out[c] = measureEdge(ds.Relation(t.Parent(c)), ds.Relation(c), ds.KeyColumn(c))
+		out[c] = cache.MeasureEdge(ds.Relation(t.Parent(c)), ds.Relation(c), ds.KeyColumn(c))
 	}
 	return out
 }
@@ -166,7 +174,12 @@ func Measure(ds *storage.Dataset) map[plan.NodeID]plan.EdgeStats {
 // realized values from Measure — the tree to hand to the cost model
 // when validating predictions against actual executions (Fig. 14).
 func MeasuredTree(ds *storage.Dataset) *plan.Tree {
-	measured := Measure(ds)
+	return MeasuredTreeCached(ds, nil)
+}
+
+// MeasuredTreeCached is MeasuredTree with memoized edge measurement.
+func MeasuredTreeCached(ds *storage.Dataset, cache *EdgeStatsCache) *plan.Tree {
+	measured := MeasureCached(ds, cache)
 	return plan.Rebuild(ds.Tree, func(id plan.NodeID, old plan.EdgeStats) plan.EdgeStats {
 		st := measured[id]
 		if st.M <= 0 || st.M > 1 {

@@ -15,12 +15,67 @@ import (
 // with it the edge's (m, fo) — changes. The reversed statistics are
 // measured from the data.
 
+// EdgeStatsCache memoizes measured edge statistics by probe direction.
+// An undirected join edge has exactly two probe directions — (parent
+// relation, child relation, key) and its reverse — so driver
+// enumeration over n candidates needs at most 2(n-1) measurements in
+// total, not O(n) per candidate. A nil cache measures directly. The
+// cache is keyed by relation identity: rerooted datasets share the
+// underlying *Relation values, which is what makes hits possible
+// across reroots. Not safe for concurrent use.
+type EdgeStatsCache struct {
+	entries      map[edgeDirection]plan.EdgeStats
+	hits, misses int
+}
+
+// edgeDirection identifies one probe direction of an undirected edge.
+type edgeDirection struct {
+	parent, child *storage.Relation
+	key           string
+}
+
+// NewEdgeStatsCache returns an empty cache.
+func NewEdgeStatsCache() *EdgeStatsCache {
+	return &EdgeStatsCache{entries: make(map[edgeDirection]plan.EdgeStats)}
+}
+
+// MeasureEdge returns the realized (m, fo) for probing from parentRel
+// into childRel on the shared key column, measuring on the first
+// request per direction and replaying the cached value afterwards.
+func (c *EdgeStatsCache) MeasureEdge(parentRel, childRel *storage.Relation, key string) plan.EdgeStats {
+	if c == nil {
+		return measureEdge(parentRel, childRel, key)
+	}
+	k := edgeDirection{parent: parentRel, child: childRel, key: key}
+	if st, ok := c.entries[k]; ok {
+		c.hits++
+		return st
+	}
+	st := measureEdge(parentRel, childRel, key)
+	c.entries[k] = st
+	c.misses++
+	return st
+}
+
+// Hits returns the number of measurements served from the cache.
+func (c *EdgeStatsCache) Hits() int { return c.hits }
+
+// Misses returns the number of actual data scans performed.
+func (c *EdgeStatsCache) Misses() int { return c.misses }
+
 // Reroot returns a new dataset whose join tree is rooted at newRoot.
 // Node IDs are reassigned (the new driver becomes plan.Root); the
 // returned mapping translates old node IDs to new ones. All edge
 // statistics of the new tree are measured from the data in the new
 // probe direction.
 func Reroot(ds *storage.Dataset, newRoot plan.NodeID) (*storage.Dataset, map[plan.NodeID]plan.NodeID) {
+	return RerootCached(ds, newRoot, nil)
+}
+
+// RerootCached is Reroot with edge statistics served through cache
+// (nil measures directly): rerooting every candidate driver with a
+// shared cache measures each edge direction exactly once.
+func RerootCached(ds *storage.Dataset, newRoot plan.NodeID, cache *EdgeStatsCache) (*storage.Dataset, map[plan.NodeID]plan.NodeID) {
 	old := ds.Tree
 	if int(newRoot) < 0 || int(newRoot) >= old.Len() {
 		panic(fmt.Sprintf("workload: Reroot: node %d out of range", newRoot))
@@ -60,7 +115,7 @@ func Reroot(ds *storage.Dataset, newRoot plan.NodeID) (*storage.Dataset, map[pla
 			}
 			parentRel := ds.Relation(f.oldID)
 			childRel := ds.Relation(a.other)
-			st := measureEdge(parentRel, childRel, a.key)
+			st := cache.MeasureEdge(parentRel, childRel, a.key)
 			id := newTree.AddChild(mapping[f.oldID], st, old.Name(a.other))
 			mapping[a.other] = id
 			newKey[id] = a.key

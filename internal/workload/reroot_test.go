@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"m2mjoin/internal/plan"
@@ -122,4 +123,58 @@ func TestRerootPanicsOnBadNode(t *testing.T) {
 		}
 	}()
 	Reroot(ds, 99)
+}
+
+// TestEdgeStatsCacheMemoizes: measuring through a shared cache must
+// scan each (parent, child, key) direction exactly once; a rerooted
+// tree reuses the underlying relations, so a full driver sweep needs
+// at most two measurements per undirected edge.
+func TestEdgeStatsCacheMemoizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := plan.RandomTree(6, rng, plan.UniformStats(rng, 0.3, 0.9, 1, 3))
+	ds := Generate(tr, Config{DriverRows: 300, Seed: 8})
+	n := tr.Len()
+
+	cache := NewEdgeStatsCache()
+	for i := 0; i < n; i++ {
+		if plan.NodeID(i) == plan.Root {
+			MeasuredTreeCached(ds, cache)
+			continue
+		}
+		re, _ := RerootCached(ds, plan.NodeID(i), cache)
+		MeasuredTreeCached(re, cache)
+	}
+	if max := 2 * (n - 1); cache.Misses() > max {
+		t.Errorf("cache missed %d times, want <= %d (one scan per edge direction)",
+			cache.Misses(), max)
+	}
+	if cache.Hits() == 0 {
+		t.Errorf("cache never hit across %d reroots", n)
+	}
+}
+
+// TestRerootCachedMatchesUncached: the memoized reroot must produce
+// the same tree, statistics and mapping as the direct one.
+func TestRerootCachedMatchesUncached(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := plan.RandomTree(5, rng, plan.UniformStats(rng, 0.3, 0.9, 1, 3))
+	ds := Generate(tr, Config{DriverRows: 200, Seed: 9})
+	cache := NewEdgeStatsCache()
+	for i := 0; i < tr.Len(); i++ {
+		plain, pm := Reroot(ds, plan.NodeID(i))
+		cached, cm := RerootCached(ds, plan.NodeID(i), cache)
+		if !reflect.DeepEqual(pm, cm) {
+			t.Fatalf("root %d: mappings differ", i)
+		}
+		for j := 0; j < plain.Tree.Len(); j++ {
+			id := plan.NodeID(j)
+			if plain.Tree.Name(id) != cached.Tree.Name(id) {
+				t.Fatalf("root %d node %d: names differ", i, j)
+			}
+			if id != plan.Root && plain.Tree.Stats(id) != cached.Tree.Stats(id) {
+				t.Fatalf("root %d node %d: stats differ: %+v vs %+v",
+					i, j, plain.Tree.Stats(id), cached.Tree.Stats(id))
+			}
+		}
+	}
 }

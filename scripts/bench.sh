@@ -1,24 +1,45 @@
 #!/bin/sh
-# Record a benchmark baseline for the execution strategies, at
-# parallelism 1 and at the full worker sweep, into BENCH_baseline.json
-# (one JSON object per benchmark, plus environment metadata). Future
-# perf PRs compare against this trajectory.
+# Record a benchmark snapshot for the execution strategies, at
+# parallelism 1 and at the full worker sweep, into a JSON file (one
+# object per benchmark, plus environment metadata). Perf PRs record a
+# new snapshot (e.g. BENCH_pr2.json) and compare it against the
+# committed trajectory (BENCH_baseline.json, BENCH_pr2.json, ...).
 #
-# Usage: scripts/bench.sh [benchtime]   (default 3x)
+# Usage: scripts/bench.sh [-count N] [-o outfile] [benchtime]
+#   -count N    passes -count=N to `go test` (repeat each benchmark
+#               N times; the JSON keeps the last line per benchmark)
+#   -o outfile  output JSON path (default BENCH_baseline.json)
+#   benchtime   go benchtime, default 3x
 set -eu
 
 cd "$(dirname "$0")/.."
-benchtime="${1:-3x}"
+count=1
 out="BENCH_baseline.json"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -count) count="$2"; shift 2 ;;
+        -o) out="$2"; shift 2 ;;
+        -*) echo "usage: scripts/bench.sh [-count N] [-o outfile] [benchtime]" >&2; exit 2 ;;
+        *) break ;;
+    esac
+done
+benchtime="${1:-3x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "running strategy benchmarks (benchtime=$benchtime)..." >&2
-go test -bench='BenchmarkStrategies($|Parallel)' -benchtime="$benchtime" \
-    -benchmem -run='^$' -count=1 . | tee "$raw" >&2
+echo "running strategy benchmarks (benchtime=$benchtime, count=$count)..." >&2
+# Capture to a file rather than piping through tee: plain sh has no
+# pipefail, and a panicking benchmark must fail the script (CI smokes
+# this path).
+if ! go test -bench='BenchmarkStrategies($|Parallel)' -benchtime="$benchtime" \
+    -benchmem -run='^$' -count="$count" . > "$raw" 2>&1; then
+    cat "$raw" >&2
+    echo "benchmarks failed" >&2
+    exit 1
+fi
+cat "$raw" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { print "{"; first = 1 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1; iters = $2; nsop = $3
@@ -27,13 +48,15 @@ BEGIN { print "{"; first = 1 }
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
     }
-    if (!first) printf ",\n"
-    first = 0
-    printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, nsop, bytes, allocs
+    # With -count > 1 the same benchmark repeats; keep the last sample.
+    if (!(name in seen)) order[++n] = name
+    seen[name] = sprintf("{\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        iters, nsop, bytes, allocs)
 }
 END {
-    if (!first) printf ",\n"
+    print "{"
+    for (i = 1; i <= n; i++)
+        printf "  \"%s\": %s,\n", order[i], seen[order[i]]
     printf "  \"_meta\": {\"date\": \"%s\", \"cpu\": \"%s\", \"cpus\": %s}\n", date, cpu, ncpu
     print "}"
 }' ncpu="$(nproc 2>/dev/null || echo 1)" "$raw" > "$out"
