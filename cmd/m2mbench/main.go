@@ -15,10 +15,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"m2mjoin/internal/experiments"
 )
+
+// startProfiles begins CPU profiling and/or arranges a heap profile at
+// exit, per the -cpuprofile/-memprofile flags; the returned stop must
+// run before the process exits.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}
 
 var figures = []struct {
 	name string
@@ -41,6 +78,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	parallelism := flag.Int("parallelism", 1,
 		"probe workers per execution (1 sequential, -1 all CPUs); counters are identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -56,6 +95,13 @@ func main() {
 	}
 	target := flag.Arg(0)
 
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
 	ran := false
 	for _, f := range figures {
 		if target != "all" && target != f.name {
@@ -68,6 +114,7 @@ func main() {
 		fmt.Printf("  (%s completed in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !ran {
+		stopProfiles() // os.Exit skips defers; flush any active profile
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", target)
 		usage()
 		os.Exit(2)
@@ -75,7 +122,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: m2mbench [-scale quick|full] [-seed N] [-parallelism N] <figure|all>\n\nfigures:\n")
+	fmt.Fprintf(os.Stderr, "usage: m2mbench [-scale quick|full] [-seed N] [-parallelism N] [-cpuprofile file] [-memprofile file] <figure|all>\n\nfigures:\n")
 	for _, f := range figures {
 		fmt.Fprintf(os.Stderr, "  %-6s  %s\n", f.name, f.desc)
 	}

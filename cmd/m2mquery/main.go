@@ -9,9 +9,13 @@
 //
 //	m2mquery [-shape star|path|snowflake32|snowflake51] [-rows N]
 //	         [-m lo,hi] [-fo lo,hi] [-seed N] [-compare] [-parallelism N]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // With -compare, all six strategies are executed with the chosen order
-// and their counters printed side by side.
+// and their counters printed side by side, including the tagged hash
+// table's TagHits/TagMisses split (probes answered by the directory
+// word alone vs probes that verified a bucket run). -cpuprofile and
+// -memprofile record pprof profiles of the run.
 package main
 
 import (
@@ -19,7 +23,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"m2mjoin/internal/core"
@@ -38,7 +45,46 @@ func main() {
 	compare := flag.Bool("compare", false, "execute all six strategies and compare")
 	parallelism := flag.Int("parallelism", 1,
 		"probe workers (1 sequential, -1 all CPUs); results are identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal exits via os.Exit, which skips defers — route the stop
+		// through atExit so error exits still flush a valid profile.
+		stopCPU := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		atExit = append(atExit, stopCPU)
+		defer stopCPU()
+	}
+	if *memprofile != "" {
+		var once sync.Once
+		writeHeap := func() {
+			once.Do(func() {
+				f, err := os.Create(*memprofile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "m2mquery: memprofile:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize the steady-state heap
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "m2mquery: memprofile:", err)
+				}
+			})
+		}
+		atExit = append(atExit, writeHeap)
+		defer writeHeap()
+	}
 
 	mLo, mHi, err := parseRange(*mRange)
 	if err != nil {
@@ -114,9 +160,10 @@ func main() {
 }
 
 func printStats(label string, s exec.Stats, elapsed time.Duration) {
-	fmt.Printf("  %-8s %10v  hash=%    -10d filter=%-9d semijoin=%-9d out=%-10d weighted=%.0f\n",
+	fmt.Printf("  %-8s %10v  hash=%    -10d filter=%-9d semijoin=%-9d taghit=%-10d tagmiss=%-9d out=%-10d weighted=%.0f\n",
 		label, elapsed.Round(time.Microsecond), s.HashProbes, s.FilterProbes,
-		s.SemiJoinProbes, s.OutputTuples, s.WeightedCost(cost.DefaultWeights()))
+		s.SemiJoinProbes, s.TagHits, s.TagMisses, s.OutputTuples,
+		s.WeightedCost(cost.DefaultWeights()))
 }
 
 func parseRange(s string) (lo, hi float64, err error) {
@@ -133,7 +180,14 @@ func parseRange(s string) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
+// atExit hooks run before fatal's os.Exit (which skips defers) — used
+// to flush active CPU/heap profiles on error exits too.
+var atExit []func()
+
 func fatal(err error) {
+	for _, fn := range atExit {
+		fn()
+	}
 	fmt.Fprintln(os.Stderr, "m2mquery:", err)
 	os.Exit(1)
 }

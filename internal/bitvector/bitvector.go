@@ -5,6 +5,16 @@
 // and can be pruned before reaching the hash join. False positives are
 // possible (two keys sharing a bit) and harmless: the tuple is pruned
 // later by the join itself.
+//
+// The filter shares both the key hash (hashtable.Hash64) and the tag
+// derivation of the tagged hash table: a key's filter word is
+// hashtable.Bucket(h, shift) — the top hash bits, exactly like a
+// directory slot — and its bit within the word is hashtable.Tag(h,
+// shift, 6), the same "bits immediately below the index" rule that
+// picks the table's 16-bit slot tags (there at width 4). A filter
+// false positive is therefore the same event as a tag false positive —
+// a collision in the shared upper hash bits — so BVP pruning errors
+// behave like hash collisions, as the paper's cost model assumes.
 package bitvector
 
 import (
@@ -15,9 +25,15 @@ import (
 	"m2mjoin/internal/storage"
 )
 
+// tagWidth is the filter's tag width: 6 bits select the bit position
+// within a 64-bit filter word.
+const tagWidth = 6
+
 // Filter is a fixed-size hash bitvector over a set of int64 keys.
 type Filter struct {
-	bits  []uint64
+	bits []uint64
+	// shift addresses the word directory: a key's word is
+	// hashtable.Bucket(h, shift), its bit hashtable.Tag(h, shift, 6).
 	shift uint
 	n     int // number of keys inserted (not deduplicated)
 }
@@ -38,9 +54,10 @@ func New(n, bitsPerKey int) *Filter {
 	for bitCount < n*bitsPerKey {
 		bitCount <<= 1
 	}
+	words := bitCount / 64
 	return &Filter{
-		bits:  make([]uint64, bitCount/64),
-		shift: uint(64 - bits.TrailingZeros(uint(bitCount))),
+		bits:  make([]uint64, words),
+		shift: uint(64 - bits.TrailingZeros(uint(words))),
 	}
 }
 
@@ -95,6 +112,25 @@ func BuildFromColumnParallel(rel *storage.Relation, column string, live *storage
 	return f
 }
 
+// FromTable derives a filter from a tagged hash table's directory
+// without touching the relation or hashing a single key. At geometry
+// 8 bits per directory slot (8-16 bits per key at the table's load
+// factor <= 1; half that for very large tables at the relaxed load
+// <= 2), a key's filter bit index — its top hash bits — equals
+// bucket<<3 | tagIndex>>1, both of which the table already computed;
+// Table.FilterWords performs the expansion in one branchless pass.
+// The result is bit-identical to inserting every retained key into a
+// filter of the same geometry, built in O(buckets) with no hashing —
+// phase 1 of the BVP strategies gets its bitvectors for free from the
+// tables it builds anyway.
+func FromTable(t *hashtable.Table) *Filter {
+	return &Filter{
+		bits:  t.FilterWords(),
+		shift: t.Shift() + 3,
+		n:     t.Len(),
+	}
+}
+
 // addRange inserts the live keys of col[lo:hi). lo must be word-
 // aligned; hi must be word-aligned or len(col).
 func (f *Filter) addRange(col storage.Column, live *storage.Bitmap, lo, hi int) {
@@ -117,16 +153,16 @@ func (f *Filter) addRange(col storage.Column, live *storage.Bitmap, lo, hi int) 
 
 // Add registers a key.
 func (f *Filter) Add(key int64) {
-	h := hashtable.Hash64(key) >> f.shift
-	f.bits[h>>6] |= 1 << (h & 63)
+	h := hashtable.Hash64(key)
+	f.bits[hashtable.Bucket(h, f.shift)] |= hashtable.Tag(h, f.shift, tagWidth)
 	f.n++
 }
 
 // MayContain reports whether key might be present. A false result is
 // definitive: the key was never added.
 func (f *Filter) MayContain(key int64) bool {
-	h := hashtable.Hash64(key) >> f.shift
-	return f.bits[h>>6]&(1<<(h&63)) != 0
+	h := hashtable.Hash64(key)
+	return f.bits[hashtable.Bucket(h, f.shift)]&hashtable.Tag(h, f.shift, tagWidth) != 0
 }
 
 // ProbeContains is the batch filter probe: for every key whose sel
@@ -134,8 +170,10 @@ func (f *Filter) MayContain(key int64) bool {
 // unselected lanes get out[i] = false. It returns the number of keys
 // probed. len(out) must equal len(keys). sel and out may share backing
 // storage (in-place mask reduction): sel[i] is read before out[i] is
-// written. Hashing and the bit tests run in one tight pass over the
-// chunk, amortizing the per-probe call overhead of MayContain.
+// written. Hashing, the word load and the tag test run in one tight
+// pass over the chunk — unlike the hash table there is no dependent
+// second load to pipeline, so the filter probe is a single independent
+// load per key that the memory system already overlaps.
 func (f *Filter) ProbeContains(keys []int64, sel []bool, out []bool) int {
 	probed := 0
 	for i, key := range keys {
@@ -144,8 +182,8 @@ func (f *Filter) ProbeContains(keys []int64, sel []bool, out []bool) int {
 			continue
 		}
 		probed++
-		h := hashtable.Hash64(key) >> f.shift
-		out[i] = f.bits[h>>6]&(1<<(h&63)) != 0
+		h := hashtable.Hash64(key)
+		out[i] = f.bits[hashtable.Bucket(h, f.shift)]&hashtable.Tag(h, f.shift, tagWidth) != 0
 	}
 	return probed
 }

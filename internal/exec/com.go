@@ -75,6 +75,8 @@ func (w *worker) joinCOM(chunk *factor.Chunk, next plan.NodeID) {
 	keys := w.gatherKeys(keyCol, pNode.Rows)
 	table.ProbeBatchInto(keys, pNode.Live, &w.probe)
 	w.hashProbes += int64(w.probe.Probed)
+	w.tagHits += int64(w.probe.TagHits)
+	w.tagMisses += int64(w.probe.TagMisses)
 	w.perRel[next] += int64(w.probe.Probed)
 	chunk.AddJoin(parentID, next, w.probe.Counts, w.probe.Rows)
 }

@@ -60,8 +60,12 @@ type Options struct {
 	// GOMAXPROCS. All counters and the checksum are bit-identical at
 	// any worker count.
 	Parallelism int
-	// BitsPerKey controls bitvector density for the BVP strategies
-	// (bitvector.BitsPerKeyDefault when 0).
+	// BitsPerKey controls bitvector density for the BVP strategies. 0
+	// (the default) derives each filter from its hash table's tag
+	// directory (bitvector.FromTable): no extra build cost, 8-16 bits
+	// per key — halved for relations past the table's large-table
+	// sizing threshold. A nonzero value requests a standalone filter
+	// build at exactly that density.
 	BitsPerKey int
 	// SemiJoins optionally fixes the phase-1 semi-join order per parent
 	// for the SJ strategies; children not listed (or a nil map) are
@@ -102,6 +106,16 @@ type Stats struct {
 	// SemiJoinProbes is the number of phase-1 semi-join probes (SJ
 	// strategies).
 	SemiJoinProbes int64
+	// TagHits / TagMisses split every hash-table probe (HashProbes plus
+	// SemiJoinProbes) by the tagged directory's Bloom-tag filter: a
+	// TagMiss was answered by the directory word alone — the key's tag
+	// bit was absent, so no key data was loaded — while a TagHit went
+	// on to verify a contiguous bucket run (and may still have found no
+	// match: a tag false positive behaves like a hash collision).
+	// TagHits + TagMisses == HashProbes + SemiJoinProbes always.
+	TagHits int64
+	// TagMisses — see TagHits.
+	TagMisses int64
 	// OutputTuples is the number of flat result tuples (counted even
 	// when the output stays factorized).
 	OutputTuples int64
@@ -260,13 +274,21 @@ func (r *run) buildTables() {
 }
 
 // buildFilters constructs one bitvector per non-root relation over its
-// build-side join key, honoring selection masks; like buildTables the
-// work fans out both across relations and within each filter build.
+// build-side join key. At the default density the filter is derived
+// straight from the tagged hash table's directory (bitvector.FromTable
+// — no rehashing, no relation scan; 8-16 bits per key); an explicit
+// BitsPerKey requests a standalone build at that density, which like
+// buildTables fans out both across relations and within each build.
+// buildFilters runs after buildTables, so the tables exist.
 func (r *run) buildFilters() {
 	t := r.ds.Tree
 	r.filters = make([]*bitvector.Filter, t.Len())
 	per := r.perBuildParallelism()
 	r.forEachNonRoot(func(id plan.NodeID) {
+		if r.opts.BitsPerKey == 0 {
+			r.filters[id] = bitvector.FromTable(r.tables[id])
+			return
+		}
 		r.filters[id] = bitvector.BuildFromColumnParallel(
 			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), r.opts.BitsPerKey, per)
 	})
@@ -344,18 +366,12 @@ func (r *run) prepareLayout() {
 }
 
 // driverRows materializes the driver row indices surviving the
-// selection mask and (for SJ strategies) the semi-join reduction. The
-// returned slice is shared read-only by all workers; chunks are
+// selection mask and (for SJ strategies) the semi-join reduction. Only
+// called with a driver mask; the unmasked case chunks directly over
+// [0, n) ranges instead (see execute), skipping the O(n) allocation.
+// The returned slice is shared read-only by all workers; chunks are
 // sub-slices of it.
 func (r *run) driverRows() []int32 {
-	n := r.ds.Relation(plan.Root).NumRows()
-	if r.driverLive == nil {
-		rows := make([]int32, n)
-		for i := range rows {
-			rows[i] = int32(i)
-		}
-		return rows
-	}
 	rows := make([]int32, 0, r.driverLive.Count())
 	r.driverLive.ForEachSet(func(row int) {
 		rows = append(rows, int32(row))
@@ -364,11 +380,32 @@ func (r *run) driverRows() []int32 {
 }
 
 // execute distributes driver chunks over the configured number of
-// workers and merges their private counters deterministically.
+// workers and merges their private counters deterministically. With a
+// driver mask the surviving rows are materialized once and chunked by
+// sub-slicing; without one, each worker fills a private iota buffer
+// per [lo, hi) range — no O(n) driver-row materialization.
 func (r *run) execute() {
-	live := r.driverRows()
+	var live []int32
+	n := r.ds.Relation(plan.Root).NumRows()
+	if r.driverLive != nil {
+		live = r.driverRows()
+		n = len(live)
+	}
 	cs := r.opts.ChunkSize
-	nChunks := (len(live) + cs - 1) / cs
+	nChunks := (n + cs - 1) / cs
+	runChunk := func(w *worker, i int) {
+		lo := i * cs
+		hi := min(lo+cs, n)
+		if live != nil {
+			w.runChunk(live[lo:hi])
+			return
+		}
+		w.iota = buf.Grow(w.iota, hi-lo)
+		for j := range w.iota {
+			w.iota[j] = int32(lo + j)
+		}
+		w.runChunk(w.iota)
+	}
 	p := r.opts.Parallelism
 	if p > nChunks {
 		p = nChunks
@@ -376,7 +413,7 @@ func (r *run) execute() {
 	if p <= 1 {
 		w := newWorker(r)
 		for i := 0; i < nChunks; i++ {
-			w.runChunk(chunkOf(live, i, cs))
+			runChunk(w, i)
 		}
 		r.merge(w)
 		return
@@ -396,7 +433,7 @@ func (r *run) execute() {
 				if i >= nChunks {
 					return
 				}
-				w.runChunk(chunkOf(live, i, cs))
+				runChunk(w, i)
 			}
 		}(workers[wi])
 	}
@@ -406,21 +443,13 @@ func (r *run) execute() {
 	}
 }
 
-// chunkOf returns the i-th driver chunk: a read-only sub-slice.
-func chunkOf(live []int32, i, chunkSize int) []int32 {
-	lo := i * chunkSize
-	hi := lo + chunkSize
-	if hi > len(live) {
-		hi = len(live)
-	}
-	return live[lo:hi]
-}
-
 // merge folds one worker's private counters into the run totals. All
 // counters are additive and the checksum is an order-independent sum,
 // so the merged stats are independent of worker count and scheduling.
 func (r *run) merge(w *worker) {
 	r.stats.HashProbes += w.hashProbes
+	r.stats.TagHits += w.tagHits
+	r.stats.TagMisses += w.tagMisses
 	r.stats.FilterProbes += w.filterProbes
 	r.stats.OutputTuples += w.outputTuples
 	r.stats.ExpandedTuples += w.expandedTuples
@@ -440,6 +469,8 @@ type worker struct {
 
 	// Private counters, merged into run.stats at the end.
 	hashProbes         int64
+	tagHits            int64
+	tagMisses          int64
 	filterProbes       int64
 	outputTuples       int64
 	expandedTuples     int64
@@ -452,6 +483,10 @@ type worker struct {
 	keys  []int64
 	probe hashtable.ProbeResult
 	keep  []bool
+	// iota is the driver-chunk buffer for maskless runs: filled with
+	// the chunk's [lo, hi) row range instead of materializing all n
+	// driver rows up front.
+	iota []int32
 
 	// tupleBuf holds the canonical-layout tuple during emission;
 	// rowsBuf holds the join-order tuple STD emission gathers into.

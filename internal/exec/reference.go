@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"math/bits"
 	"sort"
 
 	"m2mjoin/internal/hashtable"
@@ -24,24 +25,18 @@ func ReferenceResiduals(ds *storage.Dataset, residuals []Residual) (count int64,
 }
 
 // ReferenceOpts is the full oracle: residual predicates for cyclic
-// queries plus pushed-down selections.
+// queries plus pushed-down selections. Each non-root relation is
+// indexed by a ChainedTable — the seed's chained hash-table layout —
+// so every reference comparison doubles as a differential test of the
+// engine's tagged unchained table against the chained build.
 func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selection) (count int64, checksum uint64) {
 	rc := newResidualChecker(ds, residuals)
 	masks := selectionMasks(ds, selections)
 	t := ds.Tree
 	// Index child rows by key for each non-root relation.
-	indexes := make(map[plan.NodeID]map[int64][]int32, t.Len()-1)
+	indexes := make(map[plan.NodeID]*ChainedTable, t.Len()-1)
 	for _, c := range t.NonRoot() {
-		col := ds.Relation(c).Column(ds.KeyColumn(c))
-		mask := maskAt(masks, c)
-		idx := make(map[int64][]int32, len(col))
-		for row, k := range col {
-			if mask != nil && !mask.Get(row) {
-				continue
-			}
-			idx[k] = append(idx[k], int32(row))
-		}
-		indexes[c] = idx
+		indexes[c] = BuildChained(ds.Relation(c), ds.KeyColumn(c), maskAt(masks, c))
 	}
 
 	// Canonical tuple layout: ascending NodeID.
@@ -55,6 +50,11 @@ func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selec
 
 	var expand func(order []plan.NodeID, k int)
 	order := t.TopDown() // parents before children, driver first
+	// One reusable match buffer per recursion depth: each level's
+	// matches stay live while deeper levels expand, but a level never
+	// outlives its own loop, so steady-state expansion allocates
+	// nothing.
+	scratch := make([][]int32, len(order))
 	expand = func(order []plan.NodeID, k int) {
 		if k == len(order) {
 			if !rc.ok(tuple) {
@@ -67,7 +67,8 @@ func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selec
 		id := order[k]
 		parentRow := tuple[slot[t.Parent(id)]]
 		key := ds.Relation(t.Parent(id)).Column(ds.KeyColumn(id))[parentRow]
-		for _, row := range indexes[id][key] {
+		scratch[k] = indexes[id].AppendMatches(scratch[k][:0], key)
+		for _, row := range scratch[k] {
 			tuple[slot[id]] = row
 			expand(order, k+1)
 		}
@@ -93,4 +94,97 @@ func checksumCanonical(rows []int32) uint64 {
 		h = h*1099511628211 + hashtable.Hash64(int64(i)<<32|int64(row))
 	}
 	return h
+}
+
+// ChainedTable is the seed's chained hash-table layout — bucket heads
+// plus per-entry next links, probes chasing the chain through the
+// pointer table — retained verbatim as the differential-test oracle
+// for the tagged unchained hashtable.Table. It shares hashtable.Hash64
+// and keeps the seed's load-factor-<=-0.5 sizing (the tagged table now
+// sizes denser); the bucket geometry is irrelevant to the oracle —
+// both layouts index identical key sets and must answer every probe
+// identically.
+type ChainedTable struct {
+	keys    []int64 // build key per retained row (insertion order)
+	rows    []int32 // original relation row index per retained row
+	next    []int32 // chain link within the pointer table
+	buckets []int32 // hash-map: bucket -> head index into keys/rows/next
+	shift   uint    // 64 - log2(len(buckets))
+}
+
+const chainedNoEntry = int32(-1)
+
+// BuildChained constructs a chained table over rel's key column,
+// retaining only rows whose live bit is set (nil retains all) — the
+// seed's sequential single-pass build.
+func BuildChained(rel *storage.Relation, keyColumn string, live *storage.Bitmap) *ChainedTable {
+	keyCol := rel.Column(keyColumn)
+	count := len(keyCol)
+	if live != nil {
+		count = live.Count()
+	}
+	size := 16
+	for size < 2*count {
+		size <<= 1
+	}
+	t := &ChainedTable{
+		keys:    make([]int64, 0, count),
+		rows:    make([]int32, 0, count),
+		next:    make([]int32, 0, count),
+		buckets: make([]int32, size),
+		shift:   uint(64 - bits.TrailingZeros(uint(size))),
+	}
+	for i := range t.buckets {
+		t.buckets[i] = chainedNoEntry
+	}
+	for row, key := range keyCol {
+		if live != nil && !live.Get(row) {
+			continue
+		}
+		b := hashtable.Hash64(key) >> t.shift
+		idx := int32(len(t.keys))
+		t.keys = append(t.keys, key)
+		t.rows = append(t.rows, int32(row))
+		t.next = append(t.next, t.buckets[b])
+		t.buckets[b] = idx
+	}
+	return t
+}
+
+// Len returns the number of retained rows.
+func (t *ChainedTable) Len() int { return len(t.keys) }
+
+// Contains reports whether key has at least one match (chain walk).
+func (t *ChainedTable) Contains(key int64) bool {
+	b := hashtable.Hash64(key) >> t.shift
+	for e := t.buckets[b]; e != chainedNoEntry; e = t.next[e] {
+		if t.keys[e] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// CountMatches returns the number of build rows matching key.
+func (t *ChainedTable) CountMatches(key int64) int32 {
+	var n int32
+	b := hashtable.Hash64(key) >> t.shift
+	for e := t.buckets[b]; e != chainedNoEntry; e = t.next[e] {
+		if t.keys[e] == key {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendMatches appends the build-row indices matching key to dst, in
+// chain order (descending retained row, the reverse of insertion).
+func (t *ChainedTable) AppendMatches(dst []int32, key int64) []int32 {
+	b := hashtable.Hash64(key) >> t.shift
+	for e := t.buckets[b]; e != chainedNoEntry; e = t.next[e] {
+		if t.keys[e] == key {
+			dst = append(dst, t.rows[e])
+		}
+	}
+	return dst
 }

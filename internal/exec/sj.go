@@ -82,7 +82,7 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 	n := mask.Len()
 	p := r.opts.Parallelism
 	if p <= 1 || n < minParallelReduceRows {
-		r.stats.SemiJoinProbes += int64(table.ReduceLive(keyCol, mask, 0, n))
+		r.addSemiJoinStats(table.ReduceLive(keyCol, mask, 0, n))
 		return
 	}
 	nWords := (n + 63) / 64
@@ -91,7 +91,7 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 	}
 	spanWords := (nWords + p - 1) / p
 	span := spanWords * 64
-	var probed atomic.Int64
+	var probed, tagHits, tagMisses atomic.Int64
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += span {
 		hi := lo + span
@@ -101,11 +101,28 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			probed.Add(int64(table.ReduceLive(keyCol, mask, lo, hi)))
+			st := table.ReduceLive(keyCol, mask, lo, hi)
+			probed.Add(int64(st.Probed))
+			tagHits.Add(int64(st.TagHits))
+			tagMisses.Add(int64(st.TagMisses))
 		}(lo, hi)
 	}
 	wg.Wait()
-	r.stats.SemiJoinProbes += probed.Load()
+	r.addSemiJoinStats(hashtable.ProbeStats{
+		Probed:    int(probed.Load()),
+		TagHits:   int(tagHits.Load()),
+		TagMisses: int(tagMisses.Load()),
+	})
+}
+
+// addSemiJoinStats folds one reduction's probe stats into the run
+// totals: semi-join probes, plus their tag-filter split (the semi-join
+// probe is a hash-table probe, so it participates in TagHits/TagMisses
+// exactly like the phase-2 joins).
+func (r *run) addSemiJoinStats(st hashtable.ProbeStats) {
+	r.stats.SemiJoinProbes += int64(st.Probed)
+	r.stats.TagHits += int64(st.TagHits)
+	r.stats.TagMisses += int64(st.TagMisses)
 }
 
 // semiJoinOrder returns the order in which p's children are probed in

@@ -67,6 +67,8 @@ func (w *worker) joinSTD(cur, out [][]int32, width int, next plan.NodeID) {
 	table.ProbeBatchInto(keys, nil, &w.probe)
 	res := &w.probe
 	w.hashProbes += int64(res.Probed)
+	w.tagHits += int64(res.TagHits)
+	w.tagMisses += int64(res.TagMisses)
 	w.perRel[next] += int64(res.Probed)
 
 	total := len(res.Rows)

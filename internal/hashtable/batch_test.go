@@ -56,7 +56,7 @@ func TestProbeBatchIntoReusesAndMatches(t *testing.T) {
 func TestProbeContainsMatchesContains(t *testing.T) {
 	table, keys, sel := randomProbe(2, 2048)
 	out := make([]bool, len(keys))
-	probed := table.ProbeContains(keys, sel, out)
+	st := table.ProbeContains(keys, sel, out)
 	wantProbed := 0
 	for i, key := range keys {
 		if !sel[i] {
@@ -70,8 +70,11 @@ func TestProbeContainsMatchesContains(t *testing.T) {
 			t.Fatalf("lane %d: ProbeContains %v, Contains %v", i, out[i], table.Contains(key))
 		}
 	}
-	if probed != wantProbed {
-		t.Errorf("probed = %d, want %d", probed, wantProbed)
+	if st.Probed != wantProbed {
+		t.Errorf("probed = %d, want %d", st.Probed, wantProbed)
+	}
+	if st.TagHits+st.TagMisses != wantProbed {
+		t.Errorf("tag split %d+%d != probed %d", st.TagHits, st.TagMisses, wantProbed)
 	}
 
 	// In-place: pass the mask as both sel and out.
@@ -89,7 +92,7 @@ func TestProbeContainsMatchesContains(t *testing.T) {
 func TestProbeCountsMatchesCountMatches(t *testing.T) {
 	table, keys, sel := randomProbe(3, 2048)
 	counts := make([]int32, len(keys))
-	probed := table.ProbeCounts(keys, sel, counts)
+	st := table.ProbeCounts(keys, sel, counts)
 	wantProbed := 0
 	for i, key := range keys {
 		want := int32(0)
@@ -101,7 +104,10 @@ func TestProbeCountsMatchesCountMatches(t *testing.T) {
 			t.Fatalf("lane %d: count %d, want %d", i, counts[i], want)
 		}
 	}
-	if probed != wantProbed {
-		t.Errorf("probed = %d, want %d", probed, wantProbed)
+	if st.Probed != wantProbed {
+		t.Errorf("probed = %d, want %d", st.Probed, wantProbed)
+	}
+	if st.TagHits+st.TagMisses != wantProbed {
+		t.Errorf("tag split %d+%d != probed %d", st.TagHits, st.TagMisses, wantProbed)
 	}
 }

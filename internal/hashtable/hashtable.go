@@ -1,8 +1,16 @@
-// Package hashtable implements the vectorized chaining hash table of
-// the paper's execution engine (Section 4.2-4.3, Fig. 7): a hash map
-// from key hashes to the head of a chain of build rows, with the chain
-// links stored column-wise alongside the build relation ("pointer
-// table"). Probing follows the chain, verifying exact keys, and
+// Package hashtable implements the cache-conscious tagged hash table
+// of the execution engine (Section 4.2-4.3, Fig. 7), in an unchained
+// layout: a directory of packed uint64 slots, each holding a 16-bit
+// Bloom tag plus the offset of that bucket's contiguous run in the
+// bucket-sorted keys/rows arrays. A non-matching probe is answered by
+// the directory word alone — the tag bit of the probe hash is absent —
+// with no second load; a matching probe scans one contiguous run
+// instead of chasing a chain through random cache lines. Batch probes
+// run as a two-stage pipeline: stage 1 hashes a block of keys, fetches
+// their directory words, filters on tags and compares each surviving
+// run's first key (a load that doubles as a software prefetch of the
+// run's cache line); stage 2 verifies exact keys against the
+// prefetched runs. Probing
 // reports the per-key match count — the quantity the factorized
 // representation stores in its count vector-columns.
 package hashtable
@@ -27,17 +35,74 @@ func Hash64(x int64) uint64 {
 	return z ^ (z >> 31)
 }
 
-const noEntry = int32(-1)
+// Bucket returns the directory slot of hash h for a directory of
+// 1<<(64-shift) slots: the top hash bits. The bitvector filters use
+// the same derivation for their word index, so a filter false positive
+// and a tag false positive are the same event — a hash collision in
+// the shared upper bits.
+func Bucket(h uint64, shift uint) uint64 { return h >> shift }
 
-// Table is a read-only chained hash table over one key column of a
-// build relation.
-type Table struct {
-	keys    []int64 // build key per retained row (pointer-table order)
-	rows    []int32 // original relation row index per retained row
-	next    []int32 // chain link within the pointer table
-	buckets []int32 // hash-map: bucket -> head index into keys/rows/next
-	shift   uint    // 64 - log2(len(buckets))
+// Tag returns the one-hot Bloom-tag contribution of hash h for a
+// directory addressed by Bucket(h, shift): a single bit among 1<<width,
+// selected by the width hash bits immediately below the bucket index.
+// Those bits are independent of the bucket index by construction, so
+// keys colliding on the bucket still split across tag bits. The table
+// uses width 4 (16-bit slot tags); the bitvector filters use width 6
+// (bit position within a 64-bit filter word) — the same derivation at
+// a different width, which is what keeps BVP false positives behaving
+// like tag collisions.
+func Tag(h uint64, shift, width uint) uint64 {
+	return 1 << ((h >> (shift - width)) & (1<<width - 1))
 }
+
+const (
+	// tagWidth selects 16-bit slot tags (1 << tagWidth tag bits).
+	tagWidth = 4
+	// offShift positions the run offset above the tag in a packed slot:
+	// slot = offset<<offShift | tag.
+	offShift = 1 << tagWidth
+	tagMask  = 1<<offShift - 1
+)
+
+// probeBlock is the lane count of one pipeline block: stage 1 tag-
+// filters and prefetches probeBlock keys before stage 2 verifies them,
+// long enough to overlap the run loads, short enough that the touched
+// lines still sit in cache when stage 2 reads them.
+const probeBlock = 256
+
+// ProbeStats counts the outcome of a batch probe: how many keys were
+// probed, and how the tag filter split them. TagMisses are probes
+// answered by the directory word alone (the key's tag bit is absent —
+// definitely no match, no key load); TagHits proceed to run
+// verification and may still find nothing (a tag false positive, which
+// behaves exactly like a hash collision).
+type ProbeStats struct {
+	Probed, TagHits, TagMisses int
+}
+
+// add accumulates other into s.
+func (s *ProbeStats) add(o ProbeStats) {
+	s.Probed += o.Probed
+	s.TagHits += o.TagHits
+	s.TagMisses += o.TagMisses
+}
+
+// Table is a read-only tagged hash table over one key column of a
+// build relation. keys and rows are bucket-sorted: bucket b's entries
+// occupy the contiguous run [dir[b]>>offShift, dir[b+1]>>offShift),
+// in ascending retained-row order within the run.
+type Table struct {
+	keys []int64 // build key per retained row, bucket-sorted
+	rows []int32 // original relation row index per retained row
+	// dir is the packed directory, one slot per bucket plus a sentinel:
+	// dir[b] = runStart<<offShift | tag16, where tag16 is the OR of
+	// Tag(h) over the bucket's keys; dir[len-1] holds the total count.
+	dir   []uint64
+	shift uint // 64 - log2(bucket count)
+}
+
+// tag returns the table's tag bit for hash h.
+func (t *Table) tag(h uint64) uint64 { return Tag(h, t.shift, tagWidth) }
 
 // Build constructs a table over rel's key column, retaining only rows
 // whose live bit is set (pass nil to retain all rows). This mirrors
@@ -57,20 +122,24 @@ const morselRows = 128 * 64
 const minParallelBuildRows = 4 * 1024
 
 // BuildParallel is Build fanned out over the given number of workers
-// using a two-pass morsel scheme that reproduces the sequential table
-// bit-for-bit:
+// using a two-pass morsel scheme that produces the bucket-sorted
+// layout deterministically — bit-identical at any worker count:
 //
 //  1. a cheap counting pass (popcount over the live mask) assigns each
-//     morsel its deterministic write offset into the pointer table, so
-//     the parallel pass can gather keys and row indices — and compute
-//     the expensive key hashes — into disjoint pre-sized slots;
-//  2. a sequential linking pass threads the bucket chains in pointer-
-//     table order from the precomputed bucket indices, which is exactly
-//     the order the sequential build inserts in.
+//     morsel its deterministic write offset, so the parallel pass can
+//     gather — the expensive part — the hashed bucket/tag of every
+//     live row (plus, under a mask, the row index) into disjoint slots
+//     of pooled row-ordered scratch;
+//  2. a sequential, hash-free finish histograms the buckets into the
+//     directory (the in-place prefix sum turns counts into run
+//     offsets) and scatters the entries into their bucket runs in
+//     ascending row order, bumping each run offset in the directory
+//     itself.
 //
-// Pass 2 touches no hash computation, so the hashing work — the bulk
-// of build cost — scales with the worker count while the resulting
-// keys/rows/next/buckets arrays are identical at any parallelism.
+// Both sequential steps depend only on the scratch arrays, which are
+// identical at any parallelism, so the table is too. The sequential
+// path (workers <= 1 or a small build) runs the same histogram /
+// prefix / scatter pipeline scratch-free, rehashing in the scatter.
 func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap, workers int) *Table {
 	keyCol := rel.Column(keyColumn)
 	total := len(keyCol)
@@ -80,14 +149,10 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 	}
 	size := bucketCount(count)
 	t := &Table{
-		keys:    make([]int64, count),
-		rows:    make([]int32, count),
-		next:    make([]int32, count),
-		buckets: make([]int32, size),
-		shift:   uint(64 - bits.TrailingZeros64(uint64(size))),
-	}
-	for i := range t.buckets {
-		t.buckets[i] = noEntry
+		keys:  make([]int64, count),
+		rows:  make([]int32, count),
+		dir:   make([]uint64, size+1),
+		shift: uint(64 - bits.TrailingZeros64(uint64(size))),
 	}
 	if count == 0 {
 		return t
@@ -98,101 +163,177 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 		workers = nMorsels
 	}
 	if workers <= 1 || count < minParallelBuildRows {
-		t.buildSequential(keyCol, live)
-		return t
-	}
-
-	// Pass 1a: per-morsel live counts -> exclusive write offsets.
-	offsets := make([]int, nMorsels+1)
-	for m := 0; m < nMorsels; m++ {
-		lo := m * morselRows
-		hi := lo + morselRows
-		if hi > total {
-			hi = total
-		}
-		n := hi - lo
+		// Sequential build: two scratch-free passes over the key
+		// column. Pass 1 histograms buckets and tags straight into the
+		// directory; pass 2 (after the prefix sum) rehashes each key
+		// and scatters it into its run — recomputing the ~5-op hash is
+		// as cheap as writing and re-reading a per-row scratch word
+		// (measured equal), and leaves the sequential build with no
+		// scratch at all.
+		t.histogram(keyCol, live)
+		t.prefixSum()
+		t.scatterRehash(keyCol, live)
+	} else {
+		// Parallel build: the expensive hashing must fan out, so each
+		// morsel gathers its rows' hashed bucket/tag (and, under a
+		// mask, row indices) into disjoint slots of pooled row-ordered
+		// scratch; the sequential finish is then hash-free. Every
+		// scratch slot in [0, count) is overwritten before it is read,
+		// so stale pool contents are harmless.
+		g := scratchPool.Get().(*buildScratch)
+		defer scratchPool.Put(g)
+		g.hb = buf.Grow(g.hb, count)
 		if live != nil {
-			n = live.CountRange(lo, hi)
+			g.rows = buf.Grow(g.rows, count)
 		}
-		offsets[m+1] = offsets[m] + n
-	}
-
-	// Pass 1b (parallel): gather keys/rows and hash bucket indices into
-	// each morsel's disjoint slot. The bucket index of entry i is
-	// parked in next[i] — the link pass below reads it before
-	// overwriting the slot with the chain link, so the parallel build
-	// needs no scratch allocation beyond the table itself.
-	var nextMorsel atomic.Int64
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				m := int(nextMorsel.Add(1)) - 1
-				if m >= nMorsels {
-					return
-				}
-				lo := m * morselRows
-				hi := lo + morselRows
-				if hi > total {
-					hi = total
-				}
-				t.gatherMorsel(keyCol, live, lo, hi, offsets[m])
+		// Pass 1a: per-morsel live counts -> exclusive write offsets.
+		offsets := make([]int, nMorsels+1)
+		for m := 0; m < nMorsels; m++ {
+			lo := m * morselRows
+			hi := min(lo+morselRows, total)
+			n := hi - lo
+			if live != nil {
+				n = live.CountRange(lo, hi)
 			}
-		}()
+			offsets[m+1] = offsets[m] + n
+		}
+		// Pass 1b (parallel): gather into disjoint scratch slots.
+		var nextMorsel atomic.Int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					m := int(nextMorsel.Add(1)) - 1
+					if m >= nMorsels {
+						return
+					}
+					lo := m * morselRows
+					t.gatherMorsel(g, keyCol, live, lo, min(lo+morselRows, total), offsets[m])
+				}
+			}()
+		}
+		wg.Wait()
+		// Histogram from the gathered bucket/tag words. Adds and ORs
+		// commute, so this equals the sequential histogram bit for
+		// bit; the scatter below then places entries in the same
+		// ascending row order the sequential scatter uses.
+		for _, x := range g.hb {
+			b := x >> offShift
+			t.dir[b] = (t.dir[b] + 1<<offShift) | x&tagMask
+		}
+		t.prefixSum()
+		if live == nil {
+			for i, x := range g.hb {
+				b := x >> offShift
+				p := t.dir[b] >> offShift
+				t.keys[p] = keyCol[i]
+				t.rows[p] = int32(i)
+				t.dir[b] += 1 << offShift
+			}
+		} else {
+			for i, x := range g.hb {
+				b := x >> offShift
+				p := t.dir[b] >> offShift
+				row := g.rows[i]
+				t.keys[p] = keyCol[row]
+				t.rows[p] = row
+				t.dir[b] += 1 << offShift
+			}
+		}
 	}
-	wg.Wait()
-
-	// Pass 2: link the chains in pointer-table (= ascending row) order,
-	// consuming the parked bucket indices.
-	for i := range t.next {
-		b := t.next[i]
-		t.next[i] = t.buckets[b]
-		t.buckets[b] = int32(i)
+	// The scatter bumped every run offset to its END; the backward
+	// shift turns ends back into starts (= the previous bucket's end).
+	for b := size - 1; b >= 1; b-- {
+		t.dir[b] = t.dir[b-1]&^tagMask | t.dir[b]&tagMask
 	}
+	t.dir[0] &= tagMask
 	return t
 }
 
-// buildSequential fills a pre-sized table in one pass, iterating only
-// set rows of the live mask.
-func (t *Table) buildSequential(keyCol storage.Column, live *storage.Bitmap) {
-	idx := 0
-	insert := func(row int) {
-		key := keyCol[row]
-		b := Hash64(key) >> t.shift
-		t.keys[idx] = key
-		t.rows[idx] = int32(row)
-		t.next[idx] = t.buckets[b]
-		t.buckets[b] = int32(idx)
-		idx++
-	}
+// histogram counts each live row's bucket in the directory's offset
+// bits and ORs its tag into the tag bits of the same word.
+func (t *Table) histogram(keyCol storage.Column, live *storage.Bitmap) {
 	if live == nil {
-		for row := range keyCol {
-			insert(row)
+		for _, key := range keyCol {
+			h := Hash64(key)
+			b := h >> t.shift
+			t.dir[b] = (t.dir[b] + 1<<offShift) | t.tag(h)
 		}
 		return
 	}
 	for wi, w := range live.Words() {
 		base := wi << 6
 		for w != 0 {
-			insert(base + bits.TrailingZeros64(w))
+			row := base + bits.TrailingZeros64(w)
 			w &= w - 1
+			h := Hash64(keyCol[row])
+			b := h >> t.shift
+			t.dir[b] = (t.dir[b] + 1<<offShift) | t.tag(h)
 		}
 	}
 }
 
-// gatherMorsel writes the keys, row indices and (parked in next) the
-// bucket indices of the live rows in [lo, hi) starting at
-// pointer-table offset off.
-func (t *Table) gatherMorsel(keyCol storage.Column, live *storage.Bitmap, lo, hi, off int) {
+// prefixSum exclusive-prefix-sums the histogram counts in place, so
+// dir[b]>>offShift becomes bucket b's run start (dir[size] = count),
+// with accumulated tags preserved.
+func (t *Table) prefixSum() {
+	var off uint64
+	for i := range t.dir {
+		c := t.dir[i] >> offShift
+		t.dir[i] = off<<offShift | t.dir[i]&tagMask
+		off += c
+	}
+}
+
+// scatterRehash places each live row into its bucket run in ascending
+// row order, bumping the run offset in the directory itself (no cursor
+// array) and recomputing the key hash instead of reading scratch.
+func (t *Table) scatterRehash(keyCol storage.Column, live *storage.Bitmap) {
+	if live == nil {
+		for row, key := range keyCol {
+			b := Hash64(key) >> t.shift
+			p := t.dir[b] >> offShift
+			t.keys[p] = key
+			t.rows[p] = int32(row)
+			t.dir[b] += 1 << offShift
+		}
+		return
+	}
+	for wi, w := range live.Words() {
+		base := wi << 6
+		for w != 0 {
+			row := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			key := keyCol[row]
+			b := Hash64(key) >> t.shift
+			p := t.dir[b] >> offShift
+			t.keys[p] = key
+			t.rows[p] = int32(row)
+			t.dir[b] += 1 << offShift
+		}
+	}
+}
+
+// buildScratch holds the row-ordered intermediate of a parallel build:
+// the hashed bucket/tag per live row, plus (only under a live mask)
+// the retained row indices, pooled across builds.
+type buildScratch struct {
+	rows []int32
+	hb   []uint64 // bucket<<offShift | tag bit
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// gatherMorsel writes the row indices and hashed bucket/tag of the
+// live rows in [lo, hi) starting at scratch offset off.
+func (t *Table) gatherMorsel(g *buildScratch, keyCol storage.Column, live *storage.Bitmap, lo, hi, off int) {
 	idx := off
 	if live == nil {
 		for row := lo; row < hi; row++ {
-			key := keyCol[row]
-			t.keys[idx] = key
-			t.rows[idx] = int32(row)
-			t.next[idx] = int32(Hash64(key) >> t.shift)
+			h := Hash64(keyCol[row])
+			g.hb[idx] = (h>>t.shift)<<offShift | t.tag(h)
 			idx++
 		}
 		return
@@ -204,33 +345,91 @@ func (t *Table) gatherMorsel(keyCol storage.Column, live *storage.Bitmap, lo, hi
 		for w != 0 {
 			row := base + bits.TrailingZeros64(w)
 			w &= w - 1
-			key := keyCol[row]
-			t.keys[idx] = key
-			t.rows[idx] = int32(row)
-			t.next[idx] = int32(Hash64(key) >> t.shift)
+			h := Hash64(keyCol[row])
+			g.rows[idx] = int32(row)
+			g.hb[idx] = (h>>t.shift)<<offShift | t.tag(h)
 			idx++
 		}
 	}
 }
 
 // bucketCount returns a power-of-two bucket count sized for load
-// factor <= 0.5.
+// factor <= 1: with contiguous runs and the 16-bit tag early-out, a
+// denser directory costs a slightly longer run scan on hits but halves
+// the directory footprint the build histograms and scatters over (the
+// chained layout needed load <= 0.5 to keep chains short). Above
+// largeTableRows the load factor relaxes to <= 2: the build's two
+// random-access directory passes are then miss-bound, and halving the
+// directory again buys more than the extra run entry costs.
 func bucketCount(n int) int {
 	size := 16
-	for size < 2*n {
+	target := n
+	if n > largeTableRows {
+		target = (n + 1) / 2
+	}
+	for size < target {
 		size <<= 1
 	}
 	return size
 }
 
+// largeTableRows is the row count beyond which the directory would
+// outgrow a typical L2 cache (256k slots x 8 bytes = 2 MiB) and the
+// build switches to the denser load-<=-2 sizing.
+const largeTableRows = 128 * 1024
+
 // Len returns the number of rows in the table.
 func (t *Table) Len() int { return len(t.keys) }
+
+// NumBuckets returns the directory size (a power of two).
+func (t *Table) NumBuckets() int { return len(t.dir) - 1 }
+
+// Shift returns the directory's bucket shift: a key's bucket is
+// Bucket(Hash64(key), Shift()).
+func (t *Table) Shift() uint { return t.shift }
+
+// FilterWords expands the directory's Bloom tags into a fresh bit
+// array of 8 filter bits per bucket, indexed by the top hash bits —
+// the geometry of a bitvector filter over this table's keys. A key's
+// filter bit index at that geometry is bucket<<3 | tagIndex>>1, both
+// already encoded in the directory, so the expansion — OR tag-bit
+// pairs, compact the even bits into a byte — derives the whole filter
+// in one tight branchless pass with no rehashing; see
+// bitvector.FromTable.
+func (t *Table) FilterWords() []uint64 {
+	size := len(t.dir) - 1
+	words := make([]uint64, size>>3)
+	for b, w := range t.dir[:size] {
+		x := (w | w>>1) & 0x5555 // bit 2i |= tag bits 2i, 2i+1
+		x = (x | x>>1) & 0x3333  // compact even bits 0,2,..,14 -> 0..7
+		x = (x | x>>2) & 0x0f0f
+		x = (x | x>>4) & 0x00ff
+		words[b>>3] |= x << ((b & 7) << 3)
+	}
+	return words
+}
+
+// lookup returns the run bounds for key's bucket and whether the tag
+// bit is present; (0, 0, false) means a definitive miss answered by
+// the directory word alone.
+func (t *Table) lookup(key int64) (start, end uint64, ok bool) {
+	h := Hash64(key)
+	b := h >> t.shift
+	w := t.dir[b]
+	if w&t.tag(h) == 0 {
+		return 0, 0, false
+	}
+	return w >> offShift, t.dir[b+1] >> offShift, true
+}
 
 // Contains reports whether key has at least one match. This is the
 // semi-join probe.
 func (t *Table) Contains(key int64) bool {
-	b := Hash64(key) >> t.shift
-	for e := t.buckets[b]; e != noEntry; e = t.next[e] {
+	start, end, ok := t.lookup(key)
+	if !ok {
+		return false
+	}
+	for e := start; e < end; e++ {
 		if t.keys[e] == key {
 			return true
 		}
@@ -239,11 +438,14 @@ func (t *Table) Contains(key int64) bool {
 }
 
 // AppendMatches appends the build relation row indices matching key to
-// dst and returns the extended slice. This is one probe: a hash-map
-// lookup followed by a chain walk with exact key verification.
+// dst and returns the extended slice. This is one probe: a directory
+// load with a tag test, then a scan of one contiguous bucket run.
 func (t *Table) AppendMatches(dst []int32, key int64) []int32 {
-	b := Hash64(key) >> t.shift
-	for e := t.buckets[b]; e != noEntry; e = t.next[e] {
+	start, end, ok := t.lookup(key)
+	if !ok {
+		return dst
+	}
+	for e := start; e < end; e++ {
 		if t.keys[e] == key {
 			dst = append(dst, t.rows[e])
 		}
@@ -253,9 +455,12 @@ func (t *Table) AppendMatches(dst []int32, key int64) []int32 {
 
 // CountMatches returns the number of build rows matching key.
 func (t *Table) CountMatches(key int64) int32 {
+	start, end, ok := t.lookup(key)
+	if !ok {
+		return 0
+	}
 	var n int32
-	b := Hash64(key) >> t.shift
-	for e := t.buckets[b]; e != noEntry; e = t.next[e] {
+	for e := start; e < end; e++ {
 		if t.keys[e] == key {
 			n++
 		}
@@ -279,10 +484,17 @@ type ProbeResult struct {
 	// Probed is the number of keys actually probed (selection-vector
 	// hits); the abstract cost metric counts these.
 	Probed int
+	// TagHits / TagMisses split Probed by the stage-1 tag filter: a
+	// miss was answered by the directory word alone, a hit went on to
+	// run verification (and may still have found no match — a tag
+	// false positive behaving like a hash collision).
+	TagHits, TagMisses int
 
-	// heads is the hash-pass scratch: the chain head per key. Kept on
+	// runs is the pipeline scratch: stage 1 records each surviving
+	// lane's packed run bounds plus the first-key verdict (start<<33 |
+	// end<<1 | firstEq; 0 for lanes skipped or tag-filtered). Kept on
 	// the result so repeated ProbeBatchInto calls reuse it.
-	heads []int32
+	runs []uint64
 }
 
 // ProbeBatch probes all keys whose selection entry is set (nil sel
@@ -297,63 +509,153 @@ func (t *Table) ProbeBatch(keys []int64, sel []bool) ProbeResult {
 
 // ProbeBatchInto is ProbeBatch writing into a caller-owned result
 // whose slices are reused across calls: in steady state it allocates
-// nothing. The probe is split into a hash pass that locates every
-// selected key's chain head (amortizing the hash computation and
-// giving the memory system independent bucket loads to overlap) and a
-// chain-walk pass that verifies exact keys and gathers match rows.
+// nothing. The probe runs as a two-stage pipeline over probeBlock-lane
+// blocks. Stage 1 hashes each selected key and fetches its directory
+// word — independent loads the memory system overlaps — then filters
+// on the tag: lanes whose tag bit is absent are definitive misses with
+// no further memory traffic. For surviving lanes it records the run
+// bounds and compares the run's first key — a load that doubles as the
+// software prefetch of the line stage 2 scans. Stage 2 walks the
+// surviving runs — contiguous, mostly cache-resident by now —
+// verifying exact keys and gathering match rows.
 func (t *Table) ProbeBatchInto(keys []int64, sel []bool, res *ProbeResult) {
 	n := len(keys)
 	res.Counts = buf.Grow(res.Counts, n)
 	res.Offsets = buf.Grow(res.Offsets, n+1)
-	res.heads = buf.Grow(res.heads, n)
-	res.Rows = res.Rows[:0]
-	res.Probed = 0
+	res.runs = buf.Grow(res.runs, n)
+	counts, offsets, runs := res.Counts, res.Offsets, res.runs
+	dir, tkeys, trows := t.dir, t.keys, t.rows
+	out := res.Rows[:0]
+	probed, tagMiss := 0, 0
+	offsets[0] = 0
 
-	// Hash pass.
-	for i, key := range keys {
-		if sel != nil && !sel[i] {
-			res.heads[i] = noEntry
-			continue
-		}
-		res.heads[i] = t.buckets[Hash64(key)>>t.shift]
-	}
-	// Chain-walk pass.
-	res.Offsets[0] = 0
-	for i, key := range keys {
-		if sel != nil && !sel[i] {
-			res.Counts[i] = 0
-			res.Offsets[i+1] = int32(len(res.Rows))
-			continue
-		}
-		res.Probed++
-		before := len(res.Rows)
-		for e := res.heads[i]; e != noEntry; e = t.next[e] {
-			if t.keys[e] == key {
-				res.Rows = append(res.Rows, t.rows[e])
+	for lo := 0; lo < n; lo += probeBlock {
+		hi := min(lo+probeBlock, n)
+		// Stage 1: hash, tag-filter, prefetch. Surviving lanes record
+		// run bounds packed as start<<33 | end<<1 | firstEq — loading
+		// the run's first key for the firstEq compare doubles as the
+		// software prefetch of the line stage 2 scans.
+		if sel == nil {
+			for i := lo; i < hi; i++ {
+				key := keys[i]
+				h := Hash64(key)
+				b := h >> t.shift
+				w := dir[b]
+				if w&t.tag(h) == 0 {
+					tagMiss++
+					runs[i] = 0
+					continue
+				}
+				start := w >> offShift
+				r := start<<33 | (dir[b+1]>>offShift)<<1
+				if tkeys[start] == key {
+					r |= 1
+				}
+				runs[i] = r
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if !sel[i] {
+					runs[i] = 0
+					continue
+				}
+				probed++
+				key := keys[i]
+				h := Hash64(key)
+				b := h >> t.shift
+				w := dir[b]
+				if w&t.tag(h) == 0 {
+					tagMiss++
+					runs[i] = 0
+					continue
+				}
+				start := w >> offShift
+				r := start<<33 | (dir[b+1]>>offShift)<<1
+				if tkeys[start] == key {
+					r |= 1
+				}
+				runs[i] = r
 			}
 		}
-		res.Counts[i] = int32(len(res.Rows) - before)
-		res.Offsets[i+1] = int32(len(res.Rows))
+		// Stage 2: verify runs, gather matches.
+		for i := lo; i < hi; i++ {
+			run := runs[i]
+			before := int32(len(out))
+			if run != 0 {
+				key := keys[i]
+				start := run >> 33
+				if run&1 != 0 {
+					out = append(out, trows[start])
+				}
+				for e, end := start+1, run>>1&(1<<32-1); e < end; e++ {
+					if tkeys[e] == key {
+						out = append(out, trows[e])
+					}
+				}
+			}
+			counts[i] = int32(len(out)) - before
+			offsets[i+1] = int32(len(out))
+		}
 	}
+	if sel == nil {
+		probed = n
+	}
+	res.Rows = out
+	res.Probed = probed
+	res.TagMisses = tagMiss
+	res.TagHits = probed - tagMiss
 }
 
 // ProbeContains is the batch semi-join probe: for every key whose sel
 // entry is set (nil sel probes all), out[i] reports whether the table
-// contains keys[i]; unselected lanes get out[i] = false. It returns
-// the number of keys probed. len(out) must equal len(keys). sel and
-// out may share backing storage (in-place mask reduction): sel[i] is
-// read before out[i] is written.
-func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) int {
-	probed := 0
-	for i, key := range keys {
-		if sel != nil && !sel[i] {
-			out[i] = false
-			continue
+// contains keys[i]; unselected lanes get out[i] = false. len(out) must
+// equal len(keys). sel and out may share backing storage (in-place
+// mask reduction): within each pipeline block, stage 1 reads sel[i]
+// before stage 2 writes out[i]. The pipeline scratch lives on the
+// stack, so concurrent calls on a shared table are safe.
+func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) ProbeStats {
+	var st ProbeStats
+	var runs [probeBlock]uint64
+	for lo := 0; lo < len(keys); lo += probeBlock {
+		hi := min(lo+probeBlock, len(keys))
+		for i := lo; i < hi; i++ {
+			if sel != nil && !sel[i] {
+				runs[i-lo] = 0
+				continue
+			}
+			st.Probed++
+			key := keys[i]
+			h := Hash64(key)
+			b := h >> t.shift
+			w := t.dir[b]
+			if w&t.tag(h) == 0 {
+				st.TagMisses++
+				runs[i-lo] = 0
+				continue
+			}
+			st.TagHits++
+			start := w >> offShift
+			r := start<<33 | (t.dir[b+1]>>offShift)<<1
+			if t.keys[start] == key {
+				r |= 1
+			}
+			runs[i-lo] = r
 		}
-		probed++
-		out[i] = t.Contains(key)
+		for i := lo; i < hi; i++ {
+			run := runs[i-lo]
+			if run == 0 {
+				out[i] = false
+				continue
+			}
+			key := keys[i]
+			found := run&1 != 0
+			for e, end := run>>33+1, run>>1&(1<<32-1); !found && e < end; e++ {
+				found = t.keys[e] == key
+			}
+			out[i] = found
+		}
 	}
-	return probed
+	return st
 }
 
 // ReduceLive is the packed-mask semi-join probe: it clears the live
@@ -364,39 +666,107 @@ func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) int {
 // safe). Disjoint word-aligned ranges touch disjoint mask words,
 // so concurrent calls on the same mask are race-free — the chunked
 // parallel reduction of the semi-join pass splits on word boundaries.
-func (t *Table) ReduceLive(keyCol storage.Column, live *storage.Bitmap, loRow, hiRow int) int {
-	probed := 0
+// Each 64-row mask word is one pipeline block: stage 1 tag-filters its
+// set rows (clearing definitive misses immediately) and prefetches the
+// surviving runs, stage 2 verifies them.
+func (t *Table) ReduceLive(keyCol storage.Column, live *storage.Bitmap, loRow, hiRow int) ProbeStats {
+	var st ProbeStats
 	words := live.Words()
+	var runs [64]uint64
 	for wi := loRow >> 6; wi < (hiRow+63)>>6; wi++ {
 		w := words[wi]
 		if w == 0 {
 			continue
 		}
-		probed += bits.OnesCount64(w)
+		st.Probed += bits.OnesCount64(w)
 		base := wi << 6
+		// Stage 1: tag-filter; definitive misses clear their bit now,
+		// survivors record run bounds plus the first-key verdict.
 		for m := w; m != 0; m &= m - 1 {
 			tz := bits.TrailingZeros64(m)
-			if !t.Contains(keyCol[base+tz]) {
+			key := keyCol[base+tz]
+			h := Hash64(key)
+			b := h >> t.shift
+			d := t.dir[b]
+			if d&t.tag(h) == 0 {
+				st.TagMisses++
+				w &^= 1 << uint(tz)
+				continue
+			}
+			st.TagHits++
+			start := d >> offShift
+			r := start<<33 | (t.dir[b+1]>>offShift)<<1
+			if t.keys[start] == key {
+				r |= 1
+			}
+			runs[tz] = r
+		}
+		// Stage 2: verify the surviving (still set) rows.
+		for m := w; m != 0; m &= m - 1 {
+			tz := bits.TrailingZeros64(m)
+			run := runs[tz]
+			found := run&1 != 0
+			if !found {
+				key := keyCol[base+tz]
+				for e, end := run>>33+1, run>>1&(1<<32-1); !found && e < end; e++ {
+					found = t.keys[e] == key
+				}
+			}
+			if !found {
 				w &^= 1 << uint(tz)
 			}
 		}
 		words[wi] = w
 	}
-	return probed
+	return st
 }
 
 // ProbeCounts is the batch match-count probe: counts[i] receives the
 // number of build rows matching keys[i] for selected lanes, 0
-// otherwise. It returns the number of keys probed.
-func (t *Table) ProbeCounts(keys []int64, sel []bool, counts []int32) int {
-	probed := 0
-	for i, key := range keys {
-		if sel != nil && !sel[i] {
-			counts[i] = 0
-			continue
+// otherwise. Pipelined like ProbeContains, with stack scratch.
+func (t *Table) ProbeCounts(keys []int64, sel []bool, counts []int32) ProbeStats {
+	var st ProbeStats
+	var runs [probeBlock]uint64
+	for lo := 0; lo < len(keys); lo += probeBlock {
+		hi := min(lo+probeBlock, len(keys))
+		for i := lo; i < hi; i++ {
+			if sel != nil && !sel[i] {
+				runs[i-lo] = 0
+				continue
+			}
+			st.Probed++
+			key := keys[i]
+			h := Hash64(key)
+			b := h >> t.shift
+			w := t.dir[b]
+			if w&t.tag(h) == 0 {
+				st.TagMisses++
+				runs[i-lo] = 0
+				continue
+			}
+			st.TagHits++
+			start := w >> offShift
+			r := start<<33 | (t.dir[b+1]>>offShift)<<1
+			if t.keys[start] == key {
+				r |= 1
+			}
+			runs[i-lo] = r
 		}
-		probed++
-		counts[i] = t.CountMatches(key)
+		for i := lo; i < hi; i++ {
+			run := runs[i-lo]
+			if run == 0 {
+				counts[i] = 0
+				continue
+			}
+			key := keys[i]
+			n := int32(run & 1)
+			for e, end := run>>33+1, run>>1&(1<<32-1); e < end; e++ {
+				if t.keys[e] == key {
+					n++
+				}
+			}
+			counts[i] = n
+		}
 	}
-	return probed
+	return st
 }

@@ -1,0 +1,34 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func microKeys(n, space int) []int64 {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(int64(space))
+	}
+	return keys
+}
+
+func BenchmarkBuildOnly(b *testing.B) {
+	rel := buildRelation(microKeys(30000, 20000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(rel, "k", nil)
+	}
+}
+
+func BenchmarkProbeBatchMixed(b *testing.B) {
+	rel := buildRelation(microKeys(30000, 20000))
+	table := Build(rel, "k", nil)
+	probes := microKeys(2048, 40000)
+	var res ProbeResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.ProbeBatchInto(probes, nil, &res)
+	}
+}

@@ -3,6 +3,7 @@ package hashtable
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"m2mjoin/internal/storage"
@@ -54,7 +55,7 @@ func TestBuildParallelBitIdentical(t *testing.T) {
 }
 
 // TestBuildSkipsDeadRows: with a sparse mask the build must retain
-// exactly the set rows, in ascending row order.
+// exactly the set rows (bucket-sorted, so compare as a sorted set).
 func TestBuildSkipsDeadRows(t *testing.T) {
 	rel := randomRelation(rand.New(rand.NewSource(5)), 1000, 50)
 	live := storage.NewEmptyBitmap(1000)
@@ -66,8 +67,10 @@ func TestBuildSkipsDeadRows(t *testing.T) {
 	if table.Len() != len(want) {
 		t.Fatalf("Len = %d, want %d", table.Len(), len(want))
 	}
-	if !reflect.DeepEqual(table.rows, want) {
-		t.Fatalf("rows = %v, want %v", table.rows, want)
+	got := append([]int32(nil), table.rows...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
 	}
 }
 
@@ -93,16 +96,22 @@ func TestReduceLiveMatchesNaive(t *testing.T) {
 
 		// Whole-range reduction.
 		whole := mask.Clone()
-		if probed := table.ReduceLive(keyCol, whole, 0, n); probed != wantProbed {
-			t.Fatalf("trial %d: probed %d, want %d", trial, probed, wantProbed)
+		wholeStats := table.ReduceLive(keyCol, whole, 0, n)
+		if wholeStats.Probed != wantProbed {
+			t.Fatalf("trial %d: probed %d, want %d", trial, wholeStats.Probed, wantProbed)
+		}
+		if wholeStats.TagHits+wholeStats.TagMisses != wantProbed {
+			t.Fatalf("trial %d: tag split %d+%d != probed %d",
+				trial, wholeStats.TagHits, wholeStats.TagMisses, wantProbed)
 		}
 		// Split word-aligned reduction, as the parallel pass does.
 		split := mask.Clone()
-		probed := table.ReduceLive(keyCol, split, 0, 1024) +
-			table.ReduceLive(keyCol, split, 1024, 2048) +
-			table.ReduceLive(keyCol, split, 2048, n)
-		if probed != wantProbed {
-			t.Fatalf("trial %d: split probed %d, want %d", trial, probed, wantProbed)
+		var splitStats ProbeStats
+		splitStats.add(table.ReduceLive(keyCol, split, 0, 1024))
+		splitStats.add(table.ReduceLive(keyCol, split, 1024, 2048))
+		splitStats.add(table.ReduceLive(keyCol, split, 2048, n))
+		if splitStats != wholeStats {
+			t.Fatalf("trial %d: split stats %+v, want %+v", trial, splitStats, wholeStats)
 		}
 		for i := 0; i < n; i++ {
 			if whole.Get(i) != want[i] || split.Get(i) != want[i] {

@@ -6,20 +6,59 @@
 # committed trajectory (BENCH_baseline.json, BENCH_pr2.json, ...).
 #
 # Usage: scripts/bench.sh [-count N] [-o outfile] [benchtime]
+#        scripts/bench.sh -compare old.json new.json
 #   -count N    passes -count=N to `go test` (repeat each benchmark
 #               N times; the JSON keeps the last line per benchmark)
 #   -o outfile  output JSON path (default BENCH_baseline.json)
 #   benchtime   go benchtime, default 3x
+#   -compare    print per-benchmark ns/op and B/op deltas between two
+#               recorded snapshots (negative = new is better)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# compare_snapshots prints a delta table between two snapshot files
+# produced by this script.
+compare_snapshots() {
+    old="$1"; new="$2"
+    [ -r "$old" ] || { echo "cannot read $old" >&2; exit 1; }
+    [ -r "$new" ] || { echo "cannot read $new" >&2; exit 1; }
+    awk -F'"' '
+    function metric(line, name,   v) {
+        if (match(line, name "\": [0-9.]+")) {
+            v = substr(line, RSTART + length(name) + 3, RLENGTH - length(name) - 3)
+            return v + 0
+        }
+        return -1
+    }
+    /^  "Benchmark/ {
+        name = $2
+        ns = metric($0, "ns_per_op")
+        b = metric($0, "bytes_per_op")
+        if (FNR == NR) { oldns[name] = ns; oldb[name] = b; next }
+        if (name in oldns) {
+            dns = (oldns[name] > 0) ? 100 * (ns - oldns[name]) / oldns[name] : 0
+            db = (oldb[name] > 0) ? 100 * (b - oldb[name]) / oldb[name] : 0
+            printf "%-55s %12d -> %-12d ns/op %+7.1f%%   %10d -> %-10d B/op %+7.1f%%\n", \
+                name, oldns[name], ns, dns, oldb[name], b, db
+        } else {
+            printf "%-55s %27s new: %d ns/op, %d B/op\n", name, "", ns, b
+        }
+    }
+    ' "$old" "$new"
+}
+
 count=1
 out="BENCH_baseline.json"
 while [ $# -gt 0 ]; do
     case "$1" in
         -count) count="$2"; shift 2 ;;
         -o) out="$2"; shift 2 ;;
-        -*) echo "usage: scripts/bench.sh [-count N] [-o outfile] [benchtime]" >&2; exit 2 ;;
+        -compare)
+            [ $# -eq 3 ] || { echo "usage: scripts/bench.sh -compare old.json new.json" >&2; exit 2; }
+            compare_snapshots "$2" "$3"
+            exit 0 ;;
+        -*) echo "usage: scripts/bench.sh [-count N] [-o outfile] [benchtime] | -compare old.json new.json" >&2; exit 2 ;;
         *) break ;;
     esac
 done
