@@ -1,0 +1,194 @@
+// Command m2mload is the closed-loop load generator for the query
+// service: a fixed number of clients issue queries back-to-back from a
+// Zipf-skewed popularity distribution over a mixed-shape template set
+// (auto-planned, fixed-strategy, selection and SJ variants), then
+// report throughput, latency percentiles and artifact-cache hit rates.
+//
+// By default it builds an in-process service (no server needed — this
+// is the one-command way to see the executor under concurrent repeated
+// traffic); with -addr it drives a running m2mserve over HTTP,
+// registering its datasets through the API first.
+//
+// Usage:
+//
+//	m2mload [-duration 10s] [-clients 4] [-rows 5000] [-seed 1]
+//	        [-zipf 1.3] [-cache-bytes N] [-parallelism N] [-addr URL]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"m2mjoin/internal/service"
+)
+
+func main() {
+	duration := flag.Duration("duration", 10*time.Second, "load run length")
+	clients := flag.Int("clients", 4, "closed-loop client count")
+	rows := flag.Int("rows", 5000, "driver rows per generated dataset")
+	seed := flag.Int64("seed", 1, "random seed (datasets and draws)")
+	zipfS := flag.Float64("zipf", 1.3, "Zipf popularity skew exponent (>1)")
+	cacheBytes := flag.Int64("cache-bytes", service.DefaultCacheBytes,
+		"artifact cache budget (in-process mode)")
+	parallelism := flag.Int("parallelism", 0,
+		"service worker budget (in-process mode, 0 = all CPUs)")
+	addr := flag.String("addr", "",
+		"drive a running m2mserve at this base URL instead of in-process")
+	flag.Parse()
+
+	var (
+		runner    service.Runner
+		templates []service.Request
+		statsFn   func() (service.Stats, error)
+		err       error
+	)
+	if *addr == "" {
+		svc := service.New(service.Config{
+			CacheBytes:  *cacheBytes,
+			Parallelism: *parallelism,
+		})
+		templates, err = service.StandardMix(svc, *rows, *seed)
+		runner = svc
+		statsFn = func() (service.Stats, error) { return svc.Stats(), nil }
+	} else {
+		h := &httpRunner{base: strings.TrimRight(*addr, "/")}
+		templates, err = h.standardMix(*rows, *seed)
+		runner = h
+		statsFn = h.stats
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("m2mload: %d clients, %d templates, zipf s=%.2f, %v\n",
+		*clients, len(templates), *zipfS, *duration)
+	report, err := service.RunLoad(context.Background(), runner, service.LoadConfig{
+		Duration:  *duration,
+		Clients:   *clients,
+		Templates: templates,
+		ZipfS:     *zipfS,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report)
+	if st, err := statsFn(); err == nil {
+		fmt.Printf("service: queries=%d cache entries=%d bytes=%d/%d evictions=%d\n",
+			st.Queries, st.Cache.Entries, st.Cache.Bytes, st.Cache.Limit, st.Cache.Evictions)
+	}
+	if report.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// httpRunner adapts a remote m2mserve to service.Runner.
+type httpRunner struct {
+	base   string
+	client http.Client
+}
+
+// standardMix mirrors service.StandardMix over the HTTP API: register
+// the mixed-shape datasets remotely (tolerating already-registered
+// conflicts so repeated runs against one server work) and return the
+// same template list.
+func (h *httpRunner) standardMix(rows int, seed int64) ([]service.Request, error) {
+	// Build the same mix locally to learn dataset names and driver
+	// relation names, then mirror the registrations remotely.
+	local := service.New(service.Config{Parallelism: 1, MaxConcurrent: 1})
+	templates, err := service.StandardMix(local, rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	i := int64(0)
+	for _, tpl := range templates {
+		if seen[tpl.Dataset] {
+			continue
+		}
+		seen[tpl.Dataset] = true
+		body := service.RegisterRequest{
+			Name:  tpl.Dataset,
+			Shape: strings.TrimPrefix(tpl.Dataset, "load_"),
+			Rows:  rows,
+			Seed:  seed + i,
+		}
+		var out service.DatasetInfo
+		status, err := h.post("/v1/datasets", body, &out)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK && status != http.StatusConflict {
+			return nil, fmt.Errorf("registering %s: HTTP %d", tpl.Dataset, status)
+		}
+		i++
+	}
+	return templates, nil
+}
+
+func (h *httpRunner) Query(ctx context.Context, req service.Request) (service.Result, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return service.Result{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/query", bytes.NewReader(b))
+	if err != nil {
+		return service.Result{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return service.Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return service.Result{}, fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var res service.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return service.Result{}, err
+	}
+	return res, nil
+}
+
+func (h *httpRunner) stats() (service.Stats, error) {
+	resp, err := h.client.Get(h.base + "/v1/stats")
+	if err != nil {
+		return service.Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (h *httpRunner) post(path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := h.client.Post(h.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "m2mload:", err)
+	os.Exit(1)
+}

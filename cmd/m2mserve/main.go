@@ -1,0 +1,88 @@
+// Command m2mserve runs the concurrent query service over HTTP/JSON:
+// a dataset catalog, the shared build-artifact cache, and admission-
+// controlled query execution (internal/service).
+//
+// Usage:
+//
+//	m2mserve [-addr 127.0.0.1:8080] [-cache-bytes N] [-parallelism N]
+//	         [-max-concurrent N] [-dataset name=dir]... [-preload]
+//
+// -dataset registers a m2mdata directory (repeatable); -preload
+// registers the standard mixed-shape synthetic datasets so the server
+// is queryable immediately.
+//
+// API:
+//
+//	GET  /v1/datasets   catalog
+//	POST /v1/datasets   {"name","dir"} to load a m2mdata directory, or
+//	                    {"name","shape","rows","seed"} to generate
+//	POST /v1/query      {"dataset","strategy","flat","parallelism",
+//	                    "selections":[{"relation","column","value"}]}
+//	GET  /v1/stats      service + artifact-cache counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"m2mjoin/internal/service"
+	"m2mjoin/internal/storage"
+)
+
+func main() {
+	// Loopback by default: POST /v1/datasets loads server-readable
+	// m2mdata directories, which must not be reachable from the
+	// network unless the operator opts in with an explicit -addr.
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	cacheBytes := flag.Int64("cache-bytes", service.DefaultCacheBytes,
+		"artifact cache byte budget")
+	parallelism := flag.Int("parallelism", 0,
+		"total worker budget split across concurrent queries (0 = all CPUs)")
+	maxConcurrent := flag.Int("max-concurrent", 0,
+		"queries executing at once; the rest queue (0 = default)")
+	preload := flag.Bool("preload", false,
+		"register the standard mixed-shape synthetic datasets at startup")
+	var datasets []string
+	flag.Func("dataset", "register a m2mdata directory as name=dir (repeatable)",
+		func(v string) error {
+			if !strings.Contains(v, "=") {
+				return fmt.Errorf("want name=dir, got %q", v)
+			}
+			datasets = append(datasets, v)
+			return nil
+		})
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheBytes:    *cacheBytes,
+		Parallelism:   *parallelism,
+		MaxConcurrent: *maxConcurrent,
+	})
+	for _, spec := range datasets {
+		name, dir, _ := strings.Cut(spec, "=")
+		ds, err := storage.LoadDataset(dir)
+		if err != nil {
+			log.Fatalf("m2mserve: loading %s: %v", dir, err)
+		}
+		info, err := svc.RegisterDataset(name, ds)
+		if err != nil {
+			log.Fatalf("m2mserve: %v", err)
+		}
+		log.Printf("registered %s: %d relations, %d rows, fingerprint %#x",
+			info.Name, info.Relations, info.TotalRows, info.Fingerprint)
+	}
+	if *preload {
+		templates, err := service.StandardMix(svc, 10000, 1)
+		if err != nil {
+			log.Fatalf("m2mserve: preload: %v", err)
+		}
+		log.Printf("preloaded standard mix: %d datasets, %d query templates",
+			len(svc.Datasets()), len(templates))
+	}
+
+	log.Printf("m2mserve listening on %s (cache budget %d bytes)", *addr, *cacheBytes)
+	log.Fatal(http.ListenAndServe(*addr, service.NewHandler(svc)))
+}

@@ -1,10 +1,8 @@
-// Webservice: the paper's expensive-probe scenario (Section 2.1) — a
-// join operator backed by an external API call (a web service, an LLM,
-// or an expensive UDF) whose per-probe cost dwarfs a local hash lookup.
-// Minimizing the *number of probes* into that operator becomes the key
-// optimization metric, and the factorized execution model is exactly a
-// probe minimizer: it calls the service once per distinct surviving
-// key-carrier instead of once per intermediate tuple.
+// Webservice: the paper's expensive-probe scenario (Section 2.1) —
+// a join operator backed by an external API call (a web service, an
+// LLM, or an expensive UDF) whose per-probe cost dwarfs a local hash
+// lookup — served repeatedly through the query service and its shared
+// build-artifact cache (internal/service).
 //
 // The query enriches orders with customer records fetched from a
 // remote CRM:
@@ -12,17 +10,24 @@
 //	SELECT * FROM customers c, orders o, items i, crm_profile p
 //	WHERE c.cid = o.cid AND o.oid = i.oid AND c.cid = p.cid
 //
-// crm_profile is the external call (cost 50x a hash probe).
+// crm_profile is the external call (cost 50x a hash probe). Two
+// effects stack for a serving deployment:
+//
+//  1. per query, factorized execution (COM) probes the CRM once per
+//     surviving customer instead of once per (order x item) tuple;
+//  2. across queries, the artifact cache rebuilds zero hash tables
+//     after the first request — the repeated-query traffic a
+//     single-shot CLI cannot express.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"m2mjoin/internal/cost"
-	"m2mjoin/internal/exec"
-	"m2mjoin/internal/opt"
 	"m2mjoin/internal/plan"
+	"m2mjoin/internal/service"
 	"m2mjoin/internal/workload"
 )
 
@@ -35,29 +40,46 @@ func main() {
 	fmt.Println("generating 10k customers, ~28k orders, ~126k items...")
 	ds := workload.Generate(tree, workload.Config{DriverRows: 10000, Seed: 3})
 
-	// The CRM probe costs 50 hash probes (a network round trip).
+	svc := service.New(service.Config{CacheBytes: 64 << 20})
+	info, err := svc.RegisterDataset("crm", ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered dataset %q: %d relations, %d rows, fingerprint %#x\n",
+		info.Name, info.Relations, info.TotalRows, info.Fingerprint)
+
+	// The CRM probe costs ~50 hash probes (a network round trip), so
+	// the number of probes into crm_profile is the bill.
 	const crmCost = 50
-	measured := workload.MeasuredTree(ds)
-	model := cost.NewWithProbeCosts(measured, cost.DefaultWeights(),
-		map[plan.NodeID]float64{crm: crmCost})
+	ctx := context.Background()
 
-	best := opt.ExhaustiveDP(model, cost.COM)
-	fmt.Printf("\ncost-optimal COM order: %s\n", best.Order)
-	fmt.Printf("predicted cost: %.1f units/customer\n", best.Cost.Total)
-
-	fmt.Println("\nCRM calls made by each execution model (same order):")
-	for _, s := range []cost.Strategy{cost.STD, cost.COM} {
-		stats, err := exec.Run(ds, exec.Options{Strategy: s, Order: best.Order})
+	fmt.Println("\nrepeated traffic through the artifact cache (COM):")
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := svc.Query(ctx, service.Request{Dataset: "crm", Strategy: "COM"})
 		if err != nil {
 			log.Fatal(err)
 		}
-		calls := stats.PerRelationProbes[crm]
-		fmt.Printf("  %-4s %8d CRM calls  (~%d cost units)\n",
-			s, calls, calls*crmCost)
+		fmt.Printf("  query %d: %8v  table builds skipped=%d built=%d  (cache %d bytes)\n",
+			i+1, time.Since(start).Round(time.Microsecond),
+			res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.BytesCached)
 	}
-	fmt.Println("\nSTD re-calls the CRM once per (order x item) combination of each")
-	fmt.Println("customer; COM calls it once per surviving customer — with per-call")
-	fmt.Println("pricing, the factorized model is the difference between a viable and")
-	fmt.Println("an absurd bill. The optimizer's probe-cost parameter (c_i) captures")
-	fmt.Println("this, deferring expensive operators behind selective cheap ones.")
+
+	fmt.Println("\nCRM calls made by each execution model (same cached tables):")
+	for _, strat := range []string{"STD", "COM"} {
+		res, err := svc.Query(ctx, service.Request{Dataset: "crm", Strategy: strat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		calls := res.Stats.PerRelationProbes[crm]
+		fmt.Printf("  %-4s %8d CRM calls  (~%d cost units)\n", strat, calls, calls*crmCost)
+	}
+
+	fmt.Println("\nSTD must call the CRM up front, once per customer: deferring it")
+	fmt.Println("behind the fanout joins would re-call it once per (order x item)")
+	fmt.Println("tuple. COM defers it behind the selective joins and still calls it")
+	fmt.Println("only once per surviving customer — with per-call pricing, the")
+	fmt.Println("factorized model wins on every order. The serving layer stacks the")
+	fmt.Println("second amortization: after the first request, phase 1 disappears")
+	fmt.Println("from the latency path entirely.")
 }

@@ -188,6 +188,11 @@ func (f *Filter) ProbeContains(keys []int64, sel []bool, out []bool) int {
 	return probed
 }
 
+// MemoryBytes returns the heap footprint of the filter's bit array —
+// the quantity the serving layer's artifact cache charges against its
+// byte budget. The array is allocated at exactly this size.
+func (f *Filter) MemoryBytes() int64 { return int64(len(f.bits)) * 8 }
+
 // FillRatio returns the fraction of set bits, which approximates the
 // false-positive probability for single-hash filters.
 func (f *Filter) FillRatio() float64 {

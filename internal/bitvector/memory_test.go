@@ -1,0 +1,43 @@
+package bitvector
+
+import (
+	"testing"
+
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/storage"
+)
+
+// TestMemoryBytesMatchesSliceFootprint pins Filter.MemoryBytes against
+// the actual bit-array footprint (len == cap: New allocates exactly)
+// for standalone builds at several densities and for the
+// directory-derived FromTable path.
+func TestMemoryBytesMatchesSliceFootprint(t *testing.T) {
+	check := func(name string, f *Filter) {
+		t.Helper()
+		if cap(f.bits) != len(f.bits) {
+			t.Fatalf("%s: bit array over-allocated: cap %d vs len %d", name, cap(f.bits), len(f.bits))
+		}
+		if got, want := f.MemoryBytes(), int64(len(f.bits))*8; got != want {
+			t.Fatalf("%s: MemoryBytes = %d, slice footprint = %d", name, got, want)
+		}
+	}
+	for _, n := range []int{0, 1, 100, 4096, 100000} {
+		for _, bpk := range []int{0, 4, 8, 16} {
+			check("New", New(n, bpk))
+		}
+	}
+
+	rel := storage.NewRelation("r", "k")
+	for i := 0; i < 5000; i++ {
+		rel.AppendRow(int64(i % 321))
+	}
+	check("BuildFromColumn", BuildFromColumn(rel, "k", nil, 0))
+	tbl := hashtable.Build(rel, "k", nil)
+	ft := FromTable(tbl)
+	check("FromTable", ft)
+	// FromTable shares the table's directory geometry: 8 filter bits
+	// (1 byte) per directory slot.
+	if got, want := ft.MemoryBytes(), int64(tbl.NumBuckets()); got != want {
+		t.Fatalf("FromTable MemoryBytes = %d, want one byte per bucket = %d", got, want)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"m2mjoin/internal/cost"
@@ -132,6 +133,16 @@ type ExecuteOptions struct {
 	// Parallelism is the number of probe workers (0/1 sequential,
 	// negative uses GOMAXPROCS); results are identical at any count.
 	Parallelism int
+	// Ctx optionally bounds the execution: cancellation is polled
+	// between driver chunks and build steps (see exec.Options.Ctx).
+	Ctx context.Context
+	// Artifacts optionally injects cached phase-1 build artifacts and
+	// receives freshly built ones (see exec.Options.Artifacts); the
+	// serving layer's artifact cache plugs in here.
+	Artifacts exec.Artifacts
+	// Selections are pushed-down equality predicates on the base
+	// relations.
+	Selections []exec.Selection
 	// CollectOutput receives output tuples (canonical NodeID layout);
 	// requires FlatOutput.
 	CollectOutput func(rows []int32)
@@ -146,6 +157,9 @@ func Execute(ds *storage.Dataset, choice PlanChoice, opts ExecuteOptions) (exec.
 		FlatOutput:    opts.FlatOutput,
 		ChunkSize:     opts.ChunkSize,
 		Parallelism:   opts.Parallelism,
+		Ctx:           opts.Ctx,
+		Artifacts:     opts.Artifacts,
+		Selections:    opts.Selections,
 		CollectOutput: opts.CollectOutput,
 	})
 }

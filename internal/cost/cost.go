@@ -15,6 +15,7 @@ package cost
 
 import (
 	"math"
+	"strings"
 
 	"m2mjoin/internal/plan"
 )
@@ -57,6 +58,28 @@ func (s Strategy) String() string {
 
 // AllStrategies lists the six strategies in presentation order.
 var AllStrategies = []Strategy{STD, COM, BVPSTD, BVPCOM, SJSTD, SJCOM}
+
+// ParseStrategy resolves a strategy name as produced by String,
+// case-insensitively and accepting '-' or '_' for '+' (so "bvp-std"
+// and "SJ_COM" work on a command line or in a JSON request).
+func ParseStrategy(name string) (Strategy, bool) {
+	canon := func(s string) string {
+		b := []byte(strings.ToUpper(s))
+		for i, c := range b {
+			if c == '-' || c == '_' {
+				b[i] = '+'
+			}
+		}
+		return string(b)
+	}
+	want := canon(name)
+	for s, n := range strategyNames {
+		if canon(n) == want {
+			return Strategy(s), true
+		}
+	}
+	return 0, false
+}
 
 // Weights holds the relative costs of the cheaper probe kinds, as
 // micro-benchmarked in Section 5.4 of the paper, plus the bitvector

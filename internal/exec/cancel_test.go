@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+	"m2mjoin/internal/workload"
+)
+
+// cancelDataset builds a dataset big enough that a full execution
+// spans many driver chunks and a non-trivial build phase.
+func cancelDataset(t *testing.T) (*storage.Dataset, plan.Order) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tree := plan.Snowflake(3, 2, plan.UniformStats(rng, 0.4, 0.8, 2, 4))
+	ds := workload.Generate(tree, workload.Config{DriverRows: 60000, Seed: 7})
+	order := append(plan.Order(nil), tree.NonRoot()...)
+	return ds, order
+}
+
+// TestCancelledQueryReturnsSentinel: a query whose context is already
+// cancelled must return promptly with an error wrapping the
+// context.Canceled sentinel, for every strategy and at sequential and
+// parallel worker counts.
+func TestCancelledQueryReturnsSentinel(t *testing.T) {
+	ds, order := cancelDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range cost.AllStrategies {
+		for _, par := range []int{1, 4} {
+			_, err := Run(ds, Options{
+				Strategy: s, Order: order, Ctx: ctx, Parallelism: par,
+			})
+			if err == nil {
+				t.Fatalf("%v par=%d: cancelled query returned nil error", s, par)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v par=%d: error %v does not wrap context.Canceled", s, par, err)
+			}
+		}
+	}
+}
+
+// TestMidRunCancellationPrompt: cancelling mid-execution must abort
+// the run well before it would naturally finish, and the sentinel must
+// survive the wrapping.
+func TestMidRunCancellationPrompt(t *testing.T) {
+	ds, order := cancelDataset(t)
+	for _, s := range []cost.Strategy{cost.COM, cost.SJCOM} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(ds, Options{
+				Strategy: s, Order: order, Ctx: ctx, Parallelism: 2, ChunkSize: 256,
+			})
+			done <- err
+		}()
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("%v: error %v does not wrap context.Canceled", s, err)
+			}
+			// err == nil means the run won the race and finished first;
+			// acceptable for a promptness test.
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%v: cancelled run did not return within 10s", s)
+		}
+	}
+}
+
+// TestDeadlineExceededSentinel: deadline-based cancellation surfaces
+// context.DeadlineExceeded the same way.
+func TestDeadlineExceededSentinel(t *testing.T) {
+	ds, order := cancelDataset(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := Run(ds, Options{Strategy: cost.STD, Order: order, Ctx: ctx, Parallelism: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}

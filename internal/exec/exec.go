@@ -24,6 +24,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -88,6 +89,27 @@ type Options struct {
 	// Selections are pushed-down equality predicates evaluated on the
 	// base relations before execution (Section 2.1's assumption).
 	Selections []Selection
+	// Ctx optionally bounds the execution. Workers poll it cooperatively
+	// — between driver chunks in phase 2, between relation builds and
+	// reduction chunks in phase 1, and between build morsels inside the
+	// parallel hash-table build — so an aborted query stops burning
+	// workers promptly. Once the context is done, Run returns an error
+	// satisfying errors.Is(err, ctx.Err()) (context.Canceled or
+	// context.DeadlineExceeded). Nil leaves execution unbounded.
+	Ctx context.Context
+	// Artifacts optionally injects pre-built phase-1 artifacts (hash
+	// tables and bitvector filters) and receives the ones built by this
+	// run — the serving layer's shared artifact cache. A non-nil Table
+	// or Filter result is used as-is and skips that build entirely; a
+	// miss builds as usual and hands the result back via PutTable /
+	// PutFilter. Implementations must be safe for concurrent use (phase
+	// 1 fans out across relations) and must return structures built
+	// over the same relation, key column and selection mask this run
+	// would build — the cache guarantees that by keying on (dataset
+	// fingerprint, relation, key column, mask fingerprint). The SJ
+	// strategies never consult the provider: their tables are built
+	// from per-query semi-join-reduced masks, which are not shareable.
+	Artifacts Artifacts
 	// CollectOutput, when set, receives every flat output tuple as the
 	// base-relation row indices in ascending NodeID order. The slice is
 	// freshly allocated per call and may be retained. Only valid with
@@ -95,6 +117,27 @@ type Options struct {
 	// the tuple order is nondeterministic. Intended for small
 	// verification queries.
 	CollectOutput func(rows []int32)
+}
+
+// Artifacts supplies and receives phase-1 build artifacts, letting a
+// serving layer share immutable hash tables and bitvector filters
+// across queries (see Options.Artifacts for the contract).
+type Artifacts interface {
+	// Table returns the cached hash table for relation id, or nil on a
+	// miss.
+	Table(id plan.NodeID) *hashtable.Table
+	// PutTable offers a freshly built table for relation id to the
+	// cache.
+	PutTable(id plan.NodeID, t *hashtable.Table)
+	// Filter returns the cached bitvector filter for relation id at the
+	// default density, or nil on a miss. Only consulted when
+	// Options.BitsPerKey is 0; explicit densities always build.
+	Filter(id plan.NodeID) *bitvector.Filter
+	// PutFilter offers a freshly built default-density filter.
+	PutFilter(id plan.NodeID, f *bitvector.Filter)
+	// BytesCached reports the provider's current total cached bytes
+	// (Stats.BytesCached snapshots it after the run).
+	BytesCached() int64
 }
 
 // Stats are the measured execution counters.
@@ -129,6 +172,18 @@ type Stats struct {
 	// FactorizedRows is the total number of live factorized rows
 	// (COM variants, factorized output).
 	FactorizedRows int64
+	// CacheHits counts phase-1 artifacts (hash tables and bitvector
+	// filters) served from Options.Artifacts instead of being built;
+	// CacheMisses counts artifacts built by this run and offered back.
+	// Both are zero when no provider is configured — runs differing
+	// only in these fields (and BytesCached) are otherwise
+	// bit-identical.
+	CacheHits int64
+	// CacheMisses — see CacheHits.
+	CacheMisses int64
+	// BytesCached snapshots the artifact provider's total cached bytes
+	// after the run (0 without a provider).
+	BytesCached int64
 	// PerRelationProbes breaks HashProbes down by probed relation. This
 	// map view is built once at the end of a run from the executor's
 	// dense per-relation counters.
@@ -184,6 +239,9 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 	r.perRel = make([]int64, nrel)
 	r.baseMasks = selectionMasks(ds, opts.Selections)
 	r.driverLive = maskAt(r.baseMasks, plan.Root)
+	if opts.Ctx != nil {
+		r.done = opts.Ctx.Done()
+	}
 
 	switch opts.Strategy {
 	case cost.STD, cost.COM:
@@ -196,10 +254,21 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 	default:
 		return Stats{}, fmt.Errorf("exec: unknown strategy %v", opts.Strategy)
 	}
+	if r.cancelled() {
+		return Stats{}, fmt.Errorf("exec: query cancelled during build phase: %w", opts.Ctx.Err())
+	}
 
 	r.prepareLayout()
 	r.execute()
+	if r.cancelled() {
+		return Stats{}, fmt.Errorf("exec: query cancelled: %w", opts.Ctx.Err())
+	}
 
+	r.stats.CacheHits = r.cacheHits.Load()
+	r.stats.CacheMisses = r.cacheMisses.Load()
+	if opts.Artifacts != nil {
+		r.stats.BytesCached = opts.Artifacts.BytesCached()
+	}
 	r.stats.PerRelationProbes = make(map[plan.NodeID]int64, nrel-1)
 	for _, id := range ds.Tree.NonRoot() {
 		r.stats.PerRelationProbes[id] = r.perRel[id]
@@ -245,9 +314,40 @@ type run struct {
 	// perRel are the merged per-relation hash-probe counters.
 	perRel []int64
 
+	// done is Options.Ctx's done channel (nil = never cancelled),
+	// polled by both phases; cacheHits/cacheMisses count artifact-
+	// provider outcomes across the concurrent phase-1 builds.
+	done                   <-chan struct{}
+	cacheHits, cacheMisses atomic.Int64
+
 	// collectMu serializes CollectOutput callbacks across workers.
 	collectMu     sync.Mutex
 	collectLocked bool
+}
+
+// cancelled reports whether the run's context is done. It is the
+// cooperative cancellation poll of both phases: cheap enough to call
+// between driver chunks, relation builds and reduction chunks.
+func (r *run) cancelled() bool {
+	if r.done == nil {
+		return false
+	}
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// stopFn returns cancelled as a poll hook for the morsel-level build
+// loops, or nil when the run has no context (so the builds skip the
+// polling entirely).
+func (r *run) stopFn() func() bool {
+	if r.done == nil {
+		return nil
+	}
+	return r.cancelled
 }
 
 // maskAt returns the liveness mask of id (nil = all live).
@@ -262,14 +362,33 @@ func maskAt(masks []*storage.Bitmap, id plan.NodeID) *storage.Bitmap {
 // its parent-join key, honoring optional selection masks. Relations
 // build independently across the worker pool, and each individual
 // build additionally morsel-parallelizes over its share of the pool;
-// every table is bit-identical to a sequential build.
+// every table is bit-identical to a sequential build — which is what
+// lets an artifact provider substitute a cached table for the build
+// without perturbing a single downstream counter.
 func (r *run) buildTables() {
 	t := r.ds.Tree
 	r.tables = make([]*hashtable.Table, t.Len())
 	per := r.perBuildParallelism()
+	arts := r.opts.Artifacts
+	stop := r.stopFn()
 	r.forEachNonRoot(func(id plan.NodeID) {
-		r.tables[id] = hashtable.BuildParallel(
-			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), per)
+		if arts != nil {
+			if tbl := arts.Table(id); tbl != nil {
+				r.tables[id] = tbl
+				r.cacheHits.Add(1)
+				return
+			}
+		}
+		tbl := hashtable.BuildParallelStop(
+			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), per, stop)
+		if tbl == nil {
+			return // build abandoned by cancellation
+		}
+		r.tables[id] = tbl
+		if arts != nil {
+			arts.PutTable(id, tbl)
+			r.cacheMisses.Add(1)
+		}
 	})
 }
 
@@ -281,16 +400,33 @@ func (r *run) buildTables() {
 // buildTables fans out both across relations and within each build.
 // buildFilters runs after buildTables, so the tables exist.
 func (r *run) buildFilters() {
+	if r.cancelled() {
+		return // buildTables may have left nil tables behind
+	}
 	t := r.ds.Tree
 	r.filters = make([]*bitvector.Filter, t.Len())
 	per := r.perBuildParallelism()
+	arts := r.opts.Artifacts
 	r.forEachNonRoot(func(id plan.NodeID) {
-		if r.opts.BitsPerKey == 0 {
-			r.filters[id] = bitvector.FromTable(r.tables[id])
+		if r.opts.BitsPerKey != 0 {
+			// Explicit densities are not cache-keyed; always build.
+			r.filters[id] = bitvector.BuildFromColumnParallel(
+				r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), r.opts.BitsPerKey, per)
 			return
 		}
-		r.filters[id] = bitvector.BuildFromColumnParallel(
-			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), r.opts.BitsPerKey, per)
+		if arts != nil {
+			if f := arts.Filter(id); f != nil {
+				r.filters[id] = f
+				r.cacheHits.Add(1)
+				return
+			}
+		}
+		f := bitvector.FromTable(r.tables[id])
+		r.filters[id] = f
+		if arts != nil {
+			arts.PutFilter(id, f)
+			r.cacheMisses.Add(1)
+		}
 	})
 }
 
@@ -311,11 +447,15 @@ func (r *run) perBuildParallelism() int {
 }
 
 // forEachNonRoot runs fn for every non-root relation, in parallel when
-// the run is parallel. fn must touch only its own relation's state.
+// the run is parallel, polling cancellation between relations. fn must
+// touch only its own relation's state.
 func (r *run) forEachNonRoot(fn func(id plan.NodeID)) {
 	ids := r.ds.Tree.NonRoot()
 	if r.opts.Parallelism <= 1 || len(ids) < 2 {
 		for _, id := range ids {
+			if r.cancelled() {
+				return
+			}
 			fn(id)
 		}
 		return
@@ -332,7 +472,7 @@ func (r *run) forEachNonRoot(fn func(id plan.NodeID)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(ids) {
+				if i >= len(ids) || r.cancelled() {
 					return
 				}
 				fn(ids[i])
@@ -413,6 +553,9 @@ func (r *run) execute() {
 	if p <= 1 {
 		w := newWorker(r)
 		for i := 0; i < nChunks; i++ {
+			if r.cancelled() {
+				return
+			}
 			runChunk(w, i)
 		}
 		r.merge(w)
@@ -430,7 +573,7 @@ func (r *run) execute() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= nChunks {
+				if i >= nChunks || r.cancelled() {
 					return
 				}
 				runChunk(w, i)

@@ -33,8 +33,12 @@ func (r *run) semiJoinPass() {
 	t := r.ds.Tree
 	r.tables = make([]*hashtable.Table, t.Len())
 
+	stop := r.stopFn()
 	var scratch *storage.Bitmap
 	for _, p := range t.BottomUp() {
+		if r.cancelled() {
+			return
+		}
 		children := r.semiJoinOrder(p)
 		rel := r.ds.Relation(p)
 		// Start from the pushed-down selection mask, if any.
@@ -50,6 +54,9 @@ func (r *run) semiJoinPass() {
 			}
 			mask = scratch
 			for _, c := range children {
+				if r.cancelled() {
+					return
+				}
 				keyCol := rel.Column(r.ds.KeyColumn(c))
 				r.semiJoinReduce(r.tables[c], keyCol, mask)
 			}
@@ -59,7 +66,11 @@ func (r *run) semiJoinPass() {
 			// semi-joins from p's parent and by the phase-2 join. The
 			// build reads the mask before scratch is reused for the
 			// next parent.
-			r.tables[p] = hashtable.BuildParallel(rel, r.ds.KeyColumn(p), mask, r.opts.Parallelism)
+			tbl := hashtable.BuildParallelStop(rel, r.ds.KeyColumn(p), mask, r.opts.Parallelism, stop)
+			if tbl == nil {
+				return // build abandoned by cancellation
+			}
+			r.tables[p] = tbl
 		} else {
 			// BottomUp visits the root last, so the scratch mask is
 			// never reset again and can be adopted as the driver mask.
@@ -101,6 +112,12 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// Poll between reduction chunks: a chunk skipped after
+			// cancellation leaves its mask words unreduced, which is
+			// fine — the run aborts before the mask is consumed.
+			if r.cancelled() {
+				return
+			}
 			st := table.ReduceLive(keyCol, mask, lo, hi)
 			probed.Add(int64(st.Probed))
 			tagHits.Add(int64(st.TagHits))

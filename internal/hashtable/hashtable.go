@@ -113,6 +113,15 @@ func Build(rel *storage.Relation, keyColumn string, live *storage.Bitmap) *Table
 	return BuildParallel(rel, keyColumn, live, 1)
 }
 
+// MemoryBytes returns the heap footprint of the table's backing
+// arrays: the bucket-sorted key and row arrays plus the packed
+// directory. The arrays are allocated at exactly this size by the
+// build, so the figure is the real resident cost — the quantity the
+// serving layer's artifact cache charges against its byte budget.
+func (t *Table) MemoryBytes() int64 {
+	return int64(len(t.keys))*8 + int64(len(t.rows))*4 + int64(len(t.dir))*8
+}
+
 // morselRows is the row granularity of the parallel build: 128 packed
 // bitmap words, so morsel boundaries are always word-aligned.
 const morselRows = 128 * 64
@@ -141,6 +150,16 @@ const minParallelBuildRows = 4 * 1024
 // path (workers <= 1 or a small build) runs the same histogram /
 // prefix / scatter pipeline scratch-free, rehashing in the scatter.
 func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap, workers int) *Table {
+	return BuildParallelStop(rel, keyColumn, live, workers, nil)
+}
+
+// BuildParallelStop is BuildParallel with a cooperative stop hook for
+// cancellable executions: stop (nil = never stop) is polled between
+// build morsels in the parallel gather pass and between the sequential
+// passes, and a true result abandons the build and returns nil. The
+// hook must be cheap and safe to call from multiple goroutines; a
+// completed build is bit-identical to BuildParallel's.
+func BuildParallelStop(rel *storage.Relation, keyColumn string, live *storage.Bitmap, workers int, stop func() bool) *Table {
 	keyCol := rel.Column(keyColumn)
 	total := len(keyCol)
 	count := total
@@ -157,6 +176,9 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 	if count == 0 {
 		return t
 	}
+	if stop != nil && stop() {
+		return nil
+	}
 
 	nMorsels := (total + morselRows - 1) / morselRows
 	if workers > nMorsels {
@@ -171,6 +193,9 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 		// (measured equal), and leaves the sequential build with no
 		// scratch at all.
 		t.histogram(keyCol, live)
+		if stop != nil && stop() {
+			return nil
+		}
 		t.prefixSum()
 		t.scatterRehash(keyCol, live)
 	} else {
@@ -206,7 +231,7 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 				defer wg.Done()
 				for {
 					m := int(nextMorsel.Add(1)) - 1
-					if m >= nMorsels {
+					if m >= nMorsels || (stop != nil && stop()) {
 						return
 					}
 					lo := m * morselRows
@@ -215,6 +240,9 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 			}()
 		}
 		wg.Wait()
+		if stop != nil && stop() {
+			return nil
+		}
 		// Histogram from the gathered bucket/tag words. Adds and ORs
 		// commute, so this equals the sequential histogram bit for
 		// bit; the scatter below then places entries in the same

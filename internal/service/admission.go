@@ -1,0 +1,75 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// This file implements the admission controller: a bound on the number
+// of queries executing at once, plus a worker-budget split so that the
+// configured total Parallelism is divided across the queries in flight
+// instead of each query grabbing the whole machine. Queries beyond the
+// concurrency bound wait in FIFO-ish order on the slot channel and
+// honor context cancellation while queued, so a disconnected client
+// never occupies a slot.
+
+type admission struct {
+	// slots bounds concurrent executions (buffered to maxConcurrent).
+	slots chan struct{}
+	// total is the worker budget split across admitted queries.
+	total int
+
+	mu     sync.Mutex
+	active int
+}
+
+func newAdmission(totalWorkers, maxConcurrent int) *admission {
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		total: totalWorkers,
+	}
+}
+
+// acquire admits one query, blocking while the service is at its
+// concurrency bound (or returning ctx.Err() if the caller gives up
+// while queued). It returns the query's worker grant — an equal split
+// of the total budget over the queries active at admission time, never
+// below 1 — and a release function that must be called exactly once
+// when the query finishes.
+//
+// The split adapts at admission boundaries only: a long-running query
+// keeps its original grant. That keeps grants deterministic for the
+// query's lifetime (results are bit-identical at any worker count, so
+// only latency is affected) while still converging to total/max under
+// sustained load.
+func (a *admission) acquire(ctx context.Context) (workers int, release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+	a.mu.Lock()
+	a.active++
+	workers = a.total / a.active
+	if workers < 1 {
+		workers = 1
+	}
+	a.mu.Unlock()
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.active--
+			a.mu.Unlock()
+			<-a.slots
+		})
+	}
+	return workers, release, nil
+}
+
+// activeCount reports the number of queries currently admitted.
+func (a *admission) activeCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active
+}

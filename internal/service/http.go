@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"m2mjoin/internal/storage"
+)
+
+// This file is the HTTP/JSON face of the service, shared by
+// cmd/m2mserve and the tests. Three resources:
+//
+//	GET  /v1/datasets        list the catalog
+//	POST /v1/datasets        register a dataset (load a m2mdata
+//	                         directory, or generate a synthetic one)
+//	POST /v1/query           run a query (Request -> Result)
+//	GET  /v1/stats           service + cache counters
+//
+// Request bodies and responses are JSON. Query execution is bounded by
+// the HTTP request context, so a disconnected client cancels its query
+// through the executor's cooperative cancellation.
+
+// RegisterRequest is the POST /v1/datasets body. Exactly one of Dir
+// (load a directory written by m2mdata / storage.SaveDataset) or Shape
+// (generate synthetically, see GenerateSpec) selects the source;
+// an empty Shape with an empty Dir generates the default snowflake32.
+type RegisterRequest struct {
+	Name  string `json:"name"`
+	Dir   string `json:"dir,omitempty"`
+	Shape string `json:"shape,omitempty"`
+	Rows  int    `json:"rows,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// NewHandler returns the service's HTTP API.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad register body: %w", err))
+			return
+		}
+		var (
+			info DatasetInfo
+			err  error
+		)
+		if req.Dir != "" {
+			var ds *storage.Dataset
+			ds, err = storage.LoadDataset(req.Dir)
+			if err == nil {
+				info, err = s.RegisterDataset(req.Name, ds)
+			}
+		} else {
+			info, err = s.RegisterGenerated(GenerateSpec{
+				Name: req.Name, Shape: req.Shape, Rows: req.Rows, Seed: req.Seed,
+			})
+		}
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already registered") {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad query body: %w", err))
+			return
+		}
+		res, err := s.Query(r.Context(), req)
+		if err != nil {
+			writeError(w, queryErrorStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// queryErrorStatus maps query failures onto HTTP statuses: unknown
+// names and bad parameters are client errors; a cancelled query means
+// the client went away (the response is written for symmetry only).
+func queryErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "unknown"), strings.Contains(err.Error(), "has no"):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

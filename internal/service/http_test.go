@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"m2mjoin/internal/storage"
+)
+
+// httpFixture spins up the API over a fresh service.
+func httpFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(New(Config{Parallelism: 2, MaxConcurrent: 2})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPRegisterQueryStats walks the whole API surface: register a
+// generated dataset, list it, run cold and warm queries (the warm one
+// must be a full cache hit), read the stats endpoint.
+func TestHTTPRegisterQueryStats(t *testing.T) {
+	srv := httpFixture(t)
+
+	var info DatasetInfo
+	resp := postJSON(t, srv.URL+"/v1/datasets",
+		RegisterRequest{Name: "web", Shape: "star", Rows: 1200, Seed: 4}, &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	if info.Name != "web" || info.Relations != 7 || info.Fingerprint == 0 {
+		t.Fatalf("bad register info %+v", info)
+	}
+
+	listResp, err := http.Get(srv.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []DatasetInfo
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list) != 1 || list[0].Name != "web" {
+		t.Fatalf("bad dataset list %+v", list)
+	}
+
+	query := Request{Dataset: "web", Strategy: "BVP+COM", FlatOutput: true}
+	var cold, warm Result
+	if resp := postJSON(t, srv.URL+"/v1/query", query, &cold); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold query status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/query", query, &warm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query status %d", resp.StatusCode)
+	}
+	if cold.Stats.CacheMisses == 0 || warm.Stats.CacheHits != cold.Stats.CacheMisses || warm.Stats.CacheMisses != 0 {
+		t.Fatalf("cache counters wrong over HTTP: cold %+v warm %+v", cold.Stats, warm.Stats)
+	}
+	if warm.Stats.Checksum != cold.Stats.Checksum || warm.Stats.Checksum == 0 {
+		t.Fatalf("checksums diverge over HTTP: %#x vs %#x", warm.Stats.Checksum, cold.Stats.Checksum)
+	}
+
+	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if st.Queries != 2 || st.Datasets != 1 || st.Cache.Hits == 0 {
+		t.Fatalf("bad service stats %+v", st)
+	}
+}
+
+// TestHTTPErrors maps failure modes to statuses: bad shape and unknown
+// dataset are 400s, duplicate registration is 409.
+func TestHTTPErrors(t *testing.T) {
+	srv := httpFixture(t)
+	if resp := postJSON(t, srv.URL+"/v1/datasets", RegisterRequest{Name: "x", Shape: "dodecahedron"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shape status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/query", Request{Dataset: "ghost"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown dataset status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/datasets", RegisterRequest{Name: "x", Shape: "star", Rows: 300}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/datasets", RegisterRequest{Name: "x", Shape: "star", Rows: 300}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPLoadDirRegistration registers a dataset from a m2mdata
+// directory written by storage.SaveDataset.
+func TestHTTPLoadDirRegistration(t *testing.T) {
+	srv := httpFixture(t)
+	ds := genDataset(t, 600, 9)
+	dir := t.TempDir()
+	if err := storage.SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	var info DatasetInfo
+	if resp := postJSON(t, srv.URL+"/v1/datasets", RegisterRequest{Name: "disk", Dir: dir}, &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register-from-dir status %d", resp.StatusCode)
+	}
+	if info.Fingerprint != ds.Fingerprint() {
+		t.Fatalf("loaded fingerprint %#x != source %#x", info.Fingerprint, ds.Fingerprint())
+	}
+	var res Result
+	if resp := postJSON(t, srv.URL+"/v1/query", Request{Dataset: "disk"}, &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the closed-loop load generator behind cmd/m2mload: a
+// fixed number of clients each issue their next query as soon as the
+// previous one returns, drawing query templates from a Zipf-skewed
+// popularity distribution — the repeated-query, multi-tenant traffic
+// shape the artifact cache exists for. Popular templates re-hit their
+// cached artifacts; the skew tail keeps generating misses, so a run
+// exercises mixed hit/miss traffic, admission queueing and concurrent
+// probing of shared structures.
+
+// Runner abstracts the query target so the generator drives either an
+// in-process *Service or a remote m2mserve over HTTP.
+type Runner interface {
+	Query(ctx context.Context, req Request) (Result, error)
+}
+
+// LoadConfig configures one load run.
+type LoadConfig struct {
+	// Duration is the wall-time budget (default 5s).
+	Duration time.Duration
+	// Clients is the number of closed-loop workers (default 4).
+	Clients int
+	// Templates is the query mix; template i's popularity follows a
+	// Zipf distribution over the slice order (earlier = more popular).
+	Templates []Request
+	// ZipfS is the Zipf skew exponent (> 1; default 1.3).
+	ZipfS float64
+	// Seed makes template draws deterministic per client.
+	Seed int64
+}
+
+// LoadReport aggregates a load run.
+type LoadReport struct {
+	Queries  int64         `json:"queries"`
+	Errors   int64         `json:"errors"`
+	Duration time.Duration `json:"durationNs"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"p50Ns"`
+	P95      time.Duration `json:"p95Ns"`
+	P99      time.Duration `json:"p99Ns"`
+	Max      time.Duration `json:"maxNs"`
+	// CacheHits/CacheMisses sum the per-query artifact counters across
+	// all issued queries.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// OutputTuples sums emitted result tuples (a cheap integrity pulse:
+	// zero everywhere usually means a broken mix).
+	OutputTuples int64 `json:"outputTuples"`
+}
+
+// StandardMix registers a mixed-shape set of generated datasets on the
+// service and returns a template list over them: per dataset an
+// auto-planned query, two fixed-strategy queries (one build-bound, one
+// cache-bypassing SJ), and a selection variant that keys separate
+// artifacts — mixed hit/miss traffic by construction.
+func StandardMix(s *Service, rows int, seed int64) ([]Request, error) {
+	if rows <= 0 {
+		rows = 5000
+	}
+	shapes := []string{"snowflake32", "star", "path"}
+	var templates []Request
+	for i, shape := range shapes {
+		name := fmt.Sprintf("load_%s", shape)
+		if _, err := s.RegisterGenerated(GenerateSpec{
+			Name: name, Shape: shape, Rows: rows, Seed: seed + int64(i),
+		}); err != nil {
+			return nil, err
+		}
+		driver := s.entry(name).ds.Tree.Name(0)
+		templates = append(templates,
+			Request{Dataset: name},
+			Request{Dataset: name, Strategy: "BVP+COM"},
+			Request{Dataset: name, Strategy: "SJ+COM"},
+			Request{Dataset: name, Strategy: "COM", Selections: []SelectionSpec{
+				{Relation: driver, Column: "id", Value: int64(i)},
+			}},
+		)
+	}
+	return templates, nil
+}
+
+// RunLoad drives the runner with cfg.Clients closed-loop workers for
+// cfg.Duration and aggregates latency and cache statistics. It returns
+// early (with the partial report) if ctx is cancelled.
+func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) {
+	if len(cfg.Templates) == 0 {
+		return LoadReport{}, fmt.Errorf("service: load run needs at least one template")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.3
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	type clientAgg struct {
+		latencies            []time.Duration
+		errors               int64
+		hits, misses, tuples int64
+	}
+	aggs := make([]clientAgg, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			agg := &aggs[ci]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*1000003))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Templates)-1))
+			for runCtx.Err() == nil {
+				req := cfg.Templates[zipf.Uint64()]
+				t0 := time.Now()
+				res, err := r.Query(runCtx, req)
+				if err != nil {
+					// The deadline firing mid-query is the normal end of
+					// a closed loop, not a workload error.
+					if runCtx.Err() == nil {
+						agg.errors++
+					}
+					continue
+				}
+				agg.latencies = append(agg.latencies, time.Since(t0))
+				agg.hits += res.Stats.CacheHits
+				agg.misses += res.Stats.CacheMisses
+				agg.tuples += res.Stats.OutputTuples
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var report LoadReport
+	var all []time.Duration
+	for i := range aggs {
+		all = append(all, aggs[i].latencies...)
+		report.Errors += aggs[i].errors
+		report.CacheHits += aggs[i].hits
+		report.CacheMisses += aggs[i].misses
+		report.OutputTuples += aggs[i].tuples
+	}
+	report.Queries = int64(len(all))
+	report.Duration = elapsed
+	if elapsed > 0 {
+		report.QPS = float64(report.Queries) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		report.P50 = pct(0.50)
+		report.P95 = pct(0.95)
+		report.P99 = pct(0.99)
+		report.Max = all[len(all)-1]
+	}
+	return report, nil
+}
+
+// String renders the report as the m2mload summary block.
+func (r LoadReport) String() string {
+	hitRate := 0.0
+	if r.CacheHits+r.CacheMisses > 0 {
+		hitRate = float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
+	}
+	return fmt.Sprintf(
+		"queries=%d errors=%d elapsed=%v qps=%.1f\n"+
+			"latency p50=%v p95=%v p99=%v max=%v\n"+
+			"artifact cache: hits=%d misses=%d hit-rate=%.1f%%\n"+
+			"output tuples: %d",
+		r.Queries, r.Errors, r.Duration.Round(time.Millisecond), r.QPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
+		r.CacheHits, r.CacheMisses, 100*hitRate, r.OutputTuples)
+}

@@ -1,0 +1,456 @@
+// Package service is the concurrent query-serving layer of the
+// prototype: a long-running process component that owns a catalog of
+// named datasets, a bounded LRU cache of phase-1 build artifacts (hash
+// tables and bitvector filters) shared across queries, and an
+// admission controller that splits the worker budget over concurrent
+// queries and propagates client cancellation into the executor.
+//
+// The paper's phase 1 dominates the build-bound strategies; because PR
+// 4 made every phase-1 structure an immutable, read-only artifact that
+// is bit-identical however it is built, the service can share them
+// across queries: a warm-cache query executes with zero table/filter
+// builds while producing Stats and checksums bit-identical to a cold
+// run. Cache keys root at storage.Dataset.Fingerprint, so equal
+// content shares artifacts even across separately registered datasets,
+// and any mutation of a re-registered dataset re-keys them.
+//
+// Typical use:
+//
+//	svc := service.New(service.Config{CacheBytes: 256 << 20})
+//	svc.RegisterDataset("orders", ds)
+//	res, err := svc.Query(ctx, service.Request{Dataset: "orders"})
+//
+// cmd/m2mserve exposes the service over HTTP/JSON (see http.go) and
+// cmd/m2mload drives it with a closed-loop generator (see load.go).
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m2mjoin/internal/core"
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+	"m2mjoin/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// CacheBytes is the artifact cache's byte budget (default 256 MiB).
+	// The LRU never holds more than this many bytes of tables+filters.
+	CacheBytes int64
+	// Parallelism is the total worker budget split across concurrent
+	// queries by the admission controller (default GOMAXPROCS).
+	Parallelism int
+	// MaxConcurrent bounds the number of queries executing at once;
+	// further queries wait (default max(Parallelism, 2)).
+	MaxConcurrent int
+}
+
+// DefaultCacheBytes is the artifact cache budget when Config.CacheBytes
+// is zero.
+const DefaultCacheBytes = 256 << 20
+
+// Service is the concurrent query service. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg   Config
+	cache *artifactCache
+	admit *admission
+
+	mu       sync.RWMutex
+	datasets map[string]*datasetEntry
+
+	queries atomic.Int64
+}
+
+// datasetEntry is one catalog entry: the dataset, its memoized
+// fingerprint and name→node mapping, a shared edge-statistics cache so
+// planning measures each edge once, and memoized plan choices.
+type datasetEntry struct {
+	name    string
+	ds      *storage.Dataset
+	fp      uint64
+	nodeOf  map[string]plan.NodeID
+	keyCols []string
+
+	statsCache *workload.EdgeStatsCache
+
+	planMu sync.Mutex
+	plans  map[planKey]core.PlanChoice
+}
+
+// planKey memoizes plan selection per (strategy restriction, output
+// shape); auto selection (all six strategies) uses auto=true.
+type planKey struct {
+	auto     bool
+	strategy cost.Strategy
+	flat     bool
+}
+
+// New creates a service with the given configuration.
+func New(cfg Config) *Service {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = max(cfg.Parallelism, 2)
+	}
+	return &Service{
+		cfg:      cfg,
+		cache:    newArtifactCache(cfg.CacheBytes),
+		admit:    newAdmission(cfg.Parallelism, cfg.MaxConcurrent),
+		datasets: make(map[string]*datasetEntry),
+	}
+}
+
+// DatasetInfo describes one catalog entry.
+type DatasetInfo struct {
+	Name        string `json:"name"`
+	Relations   int    `json:"relations"`
+	TotalRows   int    `json:"totalRows"`
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// RegisterDataset adds ds to the catalog under name. The dataset is
+// validated and fingerprinted once here; the service assumes it is not
+// mutated afterwards (mutating a registered dataset would desynchronize
+// the fingerprint-keyed artifact cache). Registering an existing name
+// is an error.
+func (s *Service) RegisterDataset(name string, ds *storage.Dataset) (DatasetInfo, error) {
+	if name == "" {
+		return DatasetInfo{}, fmt.Errorf("service: dataset name must be non-empty")
+	}
+	if err := ds.Validate(); err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: invalid dataset %q: %w", name, err)
+	}
+	e := &datasetEntry{
+		name:       name,
+		ds:         ds,
+		fp:         ds.Fingerprint(),
+		nodeOf:     make(map[string]plan.NodeID, ds.Tree.Len()),
+		keyCols:    make([]string, ds.Tree.Len()),
+		statsCache: workload.NewEdgeStatsCache(),
+		plans:      make(map[planKey]core.PlanChoice),
+	}
+	for i := 0; i < ds.Tree.Len(); i++ {
+		id := plan.NodeID(i)
+		e.nodeOf[ds.Tree.Name(id)] = id
+		if id != plan.Root {
+			e.keyCols[id] = ds.KeyColumn(id)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q already registered", name)
+	}
+	s.datasets[name] = e
+	return s.infoLocked(e), nil
+}
+
+func (s *Service) infoLocked(e *datasetEntry) DatasetInfo {
+	return DatasetInfo{
+		Name:        e.name,
+		Relations:   e.ds.Tree.Len(),
+		TotalRows:   e.ds.TotalRows(),
+		Fingerprint: e.fp,
+	}
+}
+
+// entry returns the catalog entry for name (nil if absent).
+func (s *Service) entry(name string) *datasetEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.datasets[name]
+}
+
+// Datasets lists the catalog in name order.
+func (s *Service) Datasets() []DatasetInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		out = append(out, s.infoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GenerateSpec describes a synthetic dataset to generate and register:
+// the same shapes and default statistic ranges the m2mquery / m2mdata
+// CLIs use.
+type GenerateSpec struct {
+	Name  string `json:"name"`
+	Shape string `json:"shape"` // star | path | snowflake32 | snowflake51
+	Rows  int    `json:"rows"`
+	Seed  int64  `json:"seed"`
+}
+
+// BuildTree constructs the query-tree shape used across the CLIs with
+// uniformly drawn edge statistics in the default ranges.
+func BuildTree(shape string, seed int64) (*plan.Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+	src := plan.UniformStats(rng, 0.2, 0.6, 1, 5)
+	switch shape {
+	case "star":
+		return plan.Star(6, src), nil
+	case "path":
+		return plan.CenteredPath(7, src), nil
+	case "snowflake32", "":
+		return plan.Snowflake(3, 2, src), nil
+	case "snowflake51":
+		return plan.Snowflake(5, 1, src), nil
+	}
+	return nil, fmt.Errorf("service: unknown shape %q", shape)
+}
+
+// RegisterGenerated generates a synthetic dataset per spec and
+// registers it.
+func (s *Service) RegisterGenerated(spec GenerateSpec) (DatasetInfo, error) {
+	tree, err := BuildTree(spec.Shape, spec.Seed)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	rows := spec.Rows
+	if rows <= 0 {
+		rows = 10000
+	}
+	ds := workload.Generate(tree, workload.Config{DriverRows: rows, Seed: spec.Seed})
+	return s.RegisterDataset(spec.Name, ds)
+}
+
+// SelectionSpec is a pushed-down equality predicate addressed by
+// relation name (the HTTP-friendly form of exec.Selection).
+type SelectionSpec struct {
+	Relation string `json:"relation"`
+	Column   string `json:"column"`
+	Value    int64  `json:"value"`
+}
+
+// Request describes one query.
+type Request struct {
+	// Dataset names a registered catalog entry.
+	Dataset string `json:"dataset"`
+	// Strategy fixes the execution strategy ("STD", "COM", "BVP+STD",
+	// "BVP+COM", "SJ+STD", "SJ+COM", case-insensitive, - and _ accepted
+	// for +). Empty or "auto" lets the planner choose the cheapest.
+	Strategy string `json:"strategy,omitempty"`
+	// FlatOutput requests flat result tuples (COM variants then run
+	// the expansion phase).
+	FlatOutput bool `json:"flat,omitempty"`
+	// Parallelism caps this query's workers below its admission grant
+	// (0 = use the full grant).
+	Parallelism int `json:"parallelism,omitempty"`
+	// ChunkSize overrides the driver batch size (0 = default).
+	ChunkSize int `json:"chunkSize,omitempty"`
+	// Selections are pushed-down equality predicates.
+	Selections []SelectionSpec `json:"selections,omitempty"`
+}
+
+// Result is one query's outcome.
+type Result struct {
+	Dataset  string `json:"dataset"`
+	Strategy string `json:"strategy"`
+	Order    string `json:"order"`
+	// Workers is the parallelism the query ran with after admission.
+	Workers int `json:"workers"`
+	// Elapsed is the wall time inside the executor (excluding
+	// admission queueing).
+	Elapsed time.Duration `json:"elapsedNs"`
+	// Queued is the time spent waiting for admission.
+	Queued time.Duration `json:"queuedNs"`
+	// Stats are the executor counters, including CacheHits /
+	// CacheMisses / BytesCached for the artifact cache.
+	Stats exec.Stats `json:"stats"`
+}
+
+// Query plans (memoized per dataset) and executes one query under
+// admission control, sharing phase-1 artifacts through the cache.
+// Cancellation of ctx aborts both queueing and execution promptly.
+func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.RLock()
+	e := s.datasets[req.Dataset]
+	s.mu.RUnlock()
+	if e == nil {
+		return Result{}, fmt.Errorf("service: unknown dataset %q", req.Dataset)
+	}
+	sels, err := e.resolveSelections(req.Selections)
+	if err != nil {
+		return Result{}, err
+	}
+	// Plan before admission: the first plan per (strategy, flat) pair
+	// measures edge statistics and runs the optimizer search, which
+	// uses no executor workers — holding an admission slot through it
+	// would head-of-line-block warm queries behind cold-start planning.
+	choice, err := e.plan(req.Strategy, req.FlatOutput)
+	if err != nil {
+		return Result{}, err
+	}
+
+	enqueued := time.Now()
+	workers, release, err := s.admit.acquire(ctx)
+	if err != nil {
+		return Result{}, fmt.Errorf("service: query rejected while queued: %w", err)
+	}
+	defer release()
+	queued := time.Since(enqueued)
+	if req.Parallelism > 0 && req.Parallelism < workers {
+		workers = req.Parallelism
+	}
+
+	// The SJ strategies build their tables from per-query semi-join-
+	// reduced masks — never shareable — so they bypass the cache
+	// (exec ignores a provider for them anyway; not wiring one keeps
+	// their CacheHits/CacheMisses at zero rather than misleading).
+	var arts exec.Artifacts
+	if choice.Strategy != cost.SJSTD && choice.Strategy != cost.SJCOM {
+		arts = s.artifactsFor(e, sels)
+	}
+
+	s.queries.Add(1)
+	start := time.Now()
+	stats, err := core.Execute(e.ds, choice, core.ExecuteOptions{
+		FlatOutput:  req.FlatOutput,
+		ChunkSize:   req.ChunkSize,
+		Parallelism: workers,
+		Ctx:         ctx,
+		Artifacts:   arts,
+		Selections:  sels,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Dataset:  req.Dataset,
+		Strategy: choice.Strategy.String(),
+		Order:    choice.Order.String(),
+		Workers:  workers,
+		Elapsed:  time.Since(start),
+		Queued:   queued,
+		Stats:    stats,
+	}, nil
+}
+
+// resolveSelections maps name-addressed selection specs to
+// exec.Selections.
+func (e *datasetEntry) resolveSelections(specs []SelectionSpec) ([]exec.Selection, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	sels := make([]exec.Selection, len(specs))
+	for i, sp := range specs {
+		id, ok := e.nodeOf[sp.Relation]
+		if !ok {
+			return nil, fmt.Errorf("service: dataset %q has no relation %q", e.name, sp.Relation)
+		}
+		if !e.ds.Relation(id).HasColumn(sp.Column) {
+			return nil, fmt.Errorf("service: relation %q has no column %q", sp.Relation, sp.Column)
+		}
+		sels[i] = exec.Selection{Rel: id, Column: sp.Column, Value: sp.Value}
+	}
+	return sels, nil
+}
+
+// plan returns the memoized plan choice for the strategy restriction.
+// Edge statistics are measured once per dataset through the entry's
+// shared stats cache; the optimizer search runs once per (strategy,
+// flat) pair.
+func (e *datasetEntry) plan(strategy string, flat bool) (core.PlanChoice, error) {
+	key := planKey{auto: true, flat: flat}
+	var restrict []cost.Strategy
+	if strategy != "" && strategy != "auto" {
+		st, ok := cost.ParseStrategy(strategy)
+		if !ok {
+			return core.PlanChoice{}, fmt.Errorf("service: unknown strategy %q", strategy)
+		}
+		key = planKey{strategy: st, flat: flat}
+		restrict = []cost.Strategy{st}
+	}
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if choice, ok := e.plans[key]; ok {
+		return choice, nil
+	}
+	choice, err := core.ChoosePlan(core.PlanRequest{
+		Dataset:      e.ds,
+		MeasureStats: true,
+		StatsCache:   e.statsCache,
+		FlatOutput:   flat,
+		Strategies:   restrict,
+	})
+	if err != nil {
+		return core.PlanChoice{}, err
+	}
+	e.plans[key] = choice
+	return choice, nil
+}
+
+// artifactsFor builds the per-query cache view: the dataset
+// fingerprint plus one selection fingerprint per relation, hashed over
+// the relation's own (column, value) predicates in canonical order so
+// equivalent selection sets share artifacts.
+func (s *Service) artifactsFor(e *datasetEntry, sels []exec.Selection) exec.Artifacts {
+	maskFPs := make([]uint64, e.ds.Tree.Len())
+	if len(sels) > 0 {
+		perRel := make(map[plan.NodeID][]exec.Selection)
+		for _, sel := range sels {
+			perRel[sel.Rel] = append(perRel[sel.Rel], sel)
+		}
+		for id, list := range perRel {
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].Column != list[j].Column {
+					return list[i].Column < list[j].Column
+				}
+				return list[i].Value < list[j].Value
+			})
+			h := storage.FingerprintSeed
+			for _, sel := range list {
+				h = storage.FingerprintString(h, sel.Column)
+				h = storage.FingerprintUint64(h, uint64(sel.Value))
+			}
+			maskFPs[id] = h
+		}
+	}
+	return &queryArtifacts{
+		cache:   s.cache,
+		dataset: e.fp,
+		keyCols: e.keyCols,
+		maskFPs: maskFPs,
+	}
+}
+
+// Stats is a service-wide counter snapshot.
+type Stats struct {
+	Datasets int        `json:"datasets"`
+	Queries  int64      `json:"queries"`
+	Active   int        `json:"active"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	nds := len(s.datasets)
+	s.mu.RUnlock()
+	return Stats{
+		Datasets: nds,
+		Queries:  s.queries.Load(),
+		Active:   s.admit.activeCount(),
+		Cache:    s.cache.stats(),
+	}
+}

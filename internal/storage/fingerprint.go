@@ -1,0 +1,83 @@
+package storage
+
+import "m2mjoin/internal/plan"
+
+// This file implements content fingerprinting of datasets: a 64-bit
+// hash over the join-tree shape, the join-key bindings and every column
+// value of every relation. The fingerprint is the cache-key root of the
+// serving layer's artifact cache (internal/service): two datasets with
+// equal fingerprints produce bit-identical phase-1 build artifacts, so
+// hash tables and bitvector filters may be shared across them.
+//
+// The hash is FNV-1a over a canonical byte stream (node metadata in
+// NodeID order, then column data in declaration order), independent of
+// process, platform and map iteration order — a dataset saved with
+// SaveDataset and reloaded with LoadDataset fingerprints identically,
+// while any mutation (an appended row, a changed value, a renamed
+// column, a rebound join key) changes the fingerprint with FNV's
+// avalanche probability.
+
+const (
+	fpOffset uint64 = 0xcbf29ce484222325
+	fpPrime  uint64 = 0x00000100000001b3
+)
+
+// FingerprintSeed is the FNV-1a offset basis. Derived fingerprints
+// that live alongside Dataset.Fingerprint in cache keys (the serving
+// layer's selection-mask fingerprints) start from this seed and fold
+// with the helpers below, so every key component uses one hash
+// construction.
+const FingerprintSeed = fpOffset
+
+// FingerprintString folds s into h (FNV-1a), terminated so that
+// adjacent strings cannot alias ("ab","c" vs "a","bc").
+func FingerprintString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fpPrime
+	}
+	return (h ^ 0xff) * fpPrime
+}
+
+// FingerprintUint64 folds the 8 bytes of v into h, little-endian.
+func FingerprintUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fpPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint returns the content hash of the dataset: tree shape
+// (parent of every node), node names, join-key column names, and each
+// relation's name, column names and full column contents, all in
+// canonical order. It is stable across save/load round trips and across
+// processes, and changes on any mutation of structure or data.
+//
+// The scan is O(total values); callers that need the fingerprint
+// repeatedly (the serving layer's dataset catalog) should compute it
+// once per registered dataset and memoize it.
+func (d *Dataset) Fingerprint() uint64 {
+	h := FingerprintSeed
+	h = FingerprintUint64(h, uint64(d.Tree.Len()))
+	for i := 0; i < d.Tree.Len(); i++ {
+		id := plan.NodeID(i)
+		h = FingerprintUint64(h, uint64(d.Tree.Parent(id)))
+		h = FingerprintString(h, d.Tree.Name(id))
+		if id != plan.Root {
+			h = FingerprintString(h, d.KeyColumn(id))
+		}
+		rel := d.Relation(id)
+		h = FingerprintString(h, rel.Name())
+		h = FingerprintUint64(h, uint64(rel.NumCols()))
+		for _, name := range rel.ColumnNames() {
+			h = FingerprintString(h, name)
+		}
+		h = FingerprintUint64(h, uint64(rel.NumRows()))
+		for c := 0; c < rel.NumCols(); c++ {
+			for _, v := range rel.ColumnAt(c) {
+				h = FingerprintUint64(h, uint64(v))
+			}
+		}
+	}
+	return h
+}

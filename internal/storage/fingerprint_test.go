@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"testing"
+
+	"m2mjoin/internal/plan"
+)
+
+// fpTestDataset builds a small two-level dataset by hand.
+func fpTestDataset() *Dataset {
+	tree := plan.NewTree("root")
+	c1 := tree.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "child1")
+	c2 := tree.AddChild(plan.Root, plan.EdgeStats{M: 0.7, Fo: 1}, "child2")
+
+	root := NewRelation("root", "id", "k1", "k2")
+	for i := int64(0); i < 50; i++ {
+		root.AppendRow(i, 100+i, 200+i)
+	}
+	r1 := NewRelation("child1", "id", "k1")
+	for i := int64(0); i < 80; i++ {
+		r1.AppendRow(i, 100+i%50)
+	}
+	r2 := NewRelation("child2", "id", "k2")
+	for i := int64(0); i < 30; i++ {
+		r2.AppendRow(i, 200+i)
+	}
+
+	ds := NewDataset(tree)
+	ds.SetRelation(plan.Root, root, "")
+	ds.SetRelation(c1, r1, "k1")
+	ds.SetRelation(c2, r2, "k2")
+	return ds
+}
+
+// TestFingerprintStableAcrossSaveLoad: the fingerprint is a pure
+// content hash, so a m2mdata save/load round trip must preserve it.
+func TestFingerprintStableAcrossSaveLoad(t *testing.T) {
+	ds := fpTestDataset()
+	fp := ds.Fingerprint()
+	if fp != ds.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+
+	dir := t.TempDir()
+	if err := SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Fingerprint(); got != fp {
+		t.Fatalf("fingerprint changed across save/load: %#x vs %#x", got, fp)
+	}
+}
+
+// TestFingerprintChangesOnMutation: any structural or data mutation
+// must change the fingerprint.
+func TestFingerprintChangesOnMutation(t *testing.T) {
+	base := fpTestDataset().Fingerprint()
+
+	t.Run("appended row", func(t *testing.T) {
+		ds := fpTestDataset()
+		ds.Relation(plan.NodeID(2)).AppendRow(99, 999)
+		if ds.Fingerprint() == base {
+			t.Fatal("fingerprint unchanged after AppendRow")
+		}
+	})
+	t.Run("changed value", func(t *testing.T) {
+		ds := fpTestDataset()
+		ds.Relation(plan.Root).Column("id")[7]++
+		if ds.Fingerprint() == base {
+			t.Fatal("fingerprint unchanged after value edit")
+		}
+	})
+	t.Run("swapped values across columns", func(t *testing.T) {
+		// Same multiset of values, different placement: the canonical
+		// column order must be part of the hash.
+		ds := fpTestDataset()
+		rel := ds.Relation(plan.Root)
+		k1, k2 := rel.Column("k1"), rel.Column("k2")
+		k1[0], k2[0] = k2[0], k1[0]
+		if ds.Fingerprint() == base {
+			t.Fatal("fingerprint unchanged after cross-column swap")
+		}
+	})
+	t.Run("rebound join key", func(t *testing.T) {
+		ds := fpTestDataset()
+		// Rebind child2 to join on its "id" column instead of "k2".
+		ds.SetRelation(plan.NodeID(2), ds.Relation(plan.NodeID(2)), "id")
+		if ds.Fingerprint() == base {
+			t.Fatal("fingerprint unchanged after key rebinding")
+		}
+	})
+	t.Run("renamed relation", func(t *testing.T) {
+		ds := fpTestDataset()
+		rel := ds.Relation(plan.NodeID(1))
+		clone := NewRelation("other", rel.ColumnNames()...)
+		for i := 0; i < rel.NumRows(); i++ {
+			vals := make([]int64, rel.NumCols())
+			for c := range vals {
+				vals[c] = rel.ColumnAt(c)[i]
+			}
+			clone.AppendRow(vals...)
+		}
+		ds.SetRelation(plan.NodeID(1), clone, "k1")
+		if ds.Fingerprint() == base {
+			t.Fatal("fingerprint unchanged after relation rename")
+		}
+	})
+}
+
+// TestFingerprintEqualForEqualContent: independently built but
+// identical datasets fingerprint identically (the property the
+// cross-dataset artifact sharing of the serving layer relies on).
+func TestFingerprintEqualForEqualContent(t *testing.T) {
+	if fpTestDataset().Fingerprint() != fpTestDataset().Fingerprint() {
+		t.Fatal("identical datasets fingerprint differently")
+	}
+}
