@@ -9,10 +9,17 @@
 // traffic); with -addr it drives a running m2mserve over HTTP,
 // registering its datasets through the API first.
 //
+// Failures are counted by class (timeout / shed / canceled / invalid /
+// internal): timeouts and sheds are the service's resilience layer
+// working as designed, so with -retries > 0 they are retried with
+// exponential backoff (honoring the server's Retry-After hint) and the
+// exit status reflects only internal/invalid errors.
+//
 // Usage:
 //
 //	m2mload [-duration 10s] [-clients 4] [-rows 5000] [-seed 1]
 //	        [-zipf 1.3] [-cache-bytes N] [-parallelism N] [-addr URL]
+//	        [-timeout 0] [-retries 0]
 package main
 
 import (
@@ -42,6 +49,10 @@ func main() {
 		"service worker budget (in-process mode, 0 = all CPUs)")
 	addr := flag.String("addr", "",
 		"drive a running m2mserve at this base URL instead of in-process")
+	queryTimeout := flag.Duration("timeout", 0,
+		"per-query deadline stamped on every request (0 = none)")
+	retries := flag.Int("retries", 0,
+		"retry budget per query for shed/timeout failures (exponential backoff)")
 	flag.Parse()
 
 	var (
@@ -71,11 +82,13 @@ func main() {
 	fmt.Printf("m2mload: %d clients, %d templates, zipf s=%.2f, %v\n",
 		*clients, len(templates), *zipfS, *duration)
 	report, err := service.RunLoad(context.Background(), runner, service.LoadConfig{
-		Duration:  *duration,
-		Clients:   *clients,
-		Templates: templates,
-		ZipfS:     *zipfS,
-		Seed:      *seed,
+		Duration:     *duration,
+		Clients:      *clients,
+		Templates:    templates,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
+		QueryTimeout: *queryTimeout,
+		MaxRetries:   *retries,
 	})
 	if err != nil {
 		fatal(err)
@@ -85,7 +98,10 @@ func main() {
 		fmt.Printf("service: queries=%d cache entries=%d bytes=%d/%d evictions=%d\n",
 			st.Queries, st.Cache.Entries, st.Cache.Bytes, st.Cache.Limit, st.Cache.Evictions)
 	}
-	if report.Errors > 0 {
+	// Timeouts and sheds are the resilience layer doing its job under
+	// overload; only engine faults (internal) and broken mixes (invalid)
+	// fail the run.
+	if report.ErrorsByClass.Internal > 0 || report.ErrorsByClass.Invalid > 0 {
 		os.Exit(1)
 	}
 }
@@ -150,8 +166,19 @@ func (h *httpRunner) Query(ctx context.Context, req service.Request) (service.Re
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return service.Result{}, fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, msg)
+		// The server answers failures with a classified error envelope;
+		// rebuild the typed error so retry classification (and the
+		// Retry-After hint) survive the wire.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var env service.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err == nil && env.Class != "" {
+			return service.Result{}, &service.QueryError{
+				Class:      env.Class,
+				RetryAfter: time.Duration(env.RetryAfterMillis) * time.Millisecond,
+				Err:        fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, env.Error),
+			}
+		}
+		return service.Result{}, fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, body)
 	}
 	var res service.Result
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {

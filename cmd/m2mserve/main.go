@@ -6,6 +6,11 @@
 //
 //	m2mserve [-addr 127.0.0.1:8080] [-cache-bytes N] [-parallelism N]
 //	         [-max-concurrent N] [-dataset name=dir]... [-preload]
+//	         [-drain-timeout 30s]
+//
+// On SIGTERM or SIGINT the server drains gracefully: new queries are
+// shed (503 + Retry-After), in-flight queries run to completion (up to
+// -drain-timeout), final stats are logged, and the process exits 0.
 //
 // -dataset registers a m2mdata directory (repeatable); -preload
 // registers the standard mixed-shape synthetic datasets so the server
@@ -22,11 +27,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"m2mjoin/internal/service"
 	"m2mjoin/internal/storage"
@@ -45,6 +56,8 @@ func main() {
 		"queries executing at once; the rest queue (0 = default)")
 	preload := flag.Bool("preload", false,
 		"register the standard mixed-shape synthetic datasets at startup")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long a SIGTERM waits for in-flight queries before exiting")
 	var datasets []string
 	flag.Func("dataset", "register a m2mdata directory as name=dir (repeatable)",
 		func(v string) error {
@@ -83,6 +96,43 @@ func main() {
 			len(svc.Datasets()), len(templates))
 	}
 
-	log.Printf("m2mserve listening on %s (cache budget %d bytes)", *addr, *cacheBytes)
-	log.Fatal(http.ListenAndServe(*addr, service.NewHandler(svc)))
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	// SIGTERM/SIGINT begin a graceful drain instead of killing the
+	// process mid-query.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("m2mserve listening on %s (cache budget %d bytes)", *addr, *cacheBytes)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("m2mserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	// Drain: stop admitting first so queries arriving during shutdown
+	// are shed with a retry hint rather than queued behind a closing
+	// listener, then wait for in-flight work, then close the listener.
+	log.Printf("m2mserve: signal received, draining (timeout %v)", *drainTimeout)
+	svc.StartDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("m2mserve: drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("m2mserve: shutdown: %v", err)
+	}
+
+	st := svc.Stats()
+	log.Printf("m2mserve: final stats: queries=%d active=%d queued=%d errors={timeout=%d shed=%d canceled=%d invalid=%d internal=%d} cache{hits=%d misses=%d entries=%d bytes=%d evictions=%d}",
+		st.Queries, st.Active, st.Queued,
+		st.Errors.Timeout, st.Errors.Shed, st.Errors.Canceled, st.Errors.Invalid, st.Errors.Internal,
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Cache.Bytes, st.Cache.Evictions)
+	log.Printf("m2mserve: drained, exiting")
 }

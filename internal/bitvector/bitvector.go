@@ -84,11 +84,16 @@ func BuildFromColumnParallel(rel *storage.Relation, column string, live *storage
 		f.addRange(col, live, 0, len(col))
 		return f
 	}
-	// Word-aligned spans so each worker reads whole mask words.
+	// Word-aligned spans so each worker reads whole mask words. A
+	// panicking span worker is re-thrown on the calling goroutine
+	// after the pool drains (the executor's recover boundary converts
+	// it into a failed query rather than a dead process).
 	spanWords := ((len(col)+63)/64 + workers - 1) / workers
 	span := spanWords * 64
 	parts := make([]*Filter, 0, workers)
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
 	for lo := 0; lo < len(col); lo += span {
 		hi := lo + span
 		if hi > len(col) {
@@ -99,10 +104,22 @@ func BuildFromColumnParallel(rel *storage.Relation, column string, live *storage
 		wg.Add(1)
 		go func(p *Filter, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = v
+					}
+					panicMu.Unlock()
+				}
+			}()
 			p.addRange(col, live, lo, hi)
 		}(p, lo, hi)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	for _, p := range parts {
 		for i, w := range p.bits {
 			f.bits[i] |= w

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -34,6 +35,7 @@ import (
 	"m2mjoin/internal/buf"
 	"m2mjoin/internal/cost"
 	"m2mjoin/internal/factor"
+	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
@@ -202,6 +204,36 @@ func (s Stats) WeightedCost(w cost.Weights) float64 {
 		w.Expand*float64(s.ExpandedTuples)
 }
 
+// PanicError is a worker panic converted into a failed query: every
+// goroutine the executor spawns (phase-1 relation builds, hash-table
+// build morsels, semi-join reduction chunks, phase-2 chunk workers)
+// and the calling goroutine itself run under a recover boundary, so a
+// panicking worker fails its own query with this error instead of
+// killing the process. Sibling queries sharing the service are
+// unaffected: phase-1 artifacts are only published after a build
+// completes, so a panicked build leaks nothing into the cache.
+type PanicError struct {
+	// Site names the worker-pool boundary that recovered the panic.
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic at %s: %v", e.Site, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. an
+// injected fault) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes the query described by the dataset under opts.
 func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 	if err := ds.Validate(); err != nil {
@@ -243,24 +275,38 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 		r.done = opts.Ctx.Done()
 	}
 
-	switch opts.Strategy {
-	case cost.STD, cost.COM:
-		r.buildTables()
-	case cost.BVPSTD, cost.BVPCOM:
-		r.buildTables()
-		r.buildFilters()
-	case cost.SJSTD, cost.SJCOM:
-		r.semiJoinPass() // builds reduced tables as it goes
-	default:
-		return Stats{}, fmt.Errorf("exec: unknown strategy %v", opts.Strategy)
+	var badStrategy error
+	r.guard("phase1", func() {
+		switch opts.Strategy {
+		case cost.STD, cost.COM:
+			r.buildTables()
+		case cost.BVPSTD, cost.BVPCOM:
+			r.buildTables()
+			r.buildFilters()
+		case cost.SJSTD, cost.SJCOM:
+			r.semiJoinPass() // builds reduced tables as it goes
+		default:
+			badStrategy = fmt.Errorf("exec: unknown strategy %v", opts.Strategy)
+		}
+	})
+	if badStrategy != nil {
+		return Stats{}, badStrategy
 	}
-	if r.cancelled() {
+	if err := r.failure(); err != nil {
+		return Stats{}, fmt.Errorf("exec: query failed during build phase: %w", err)
+	}
+	if r.ctxDone() {
 		return Stats{}, fmt.Errorf("exec: query cancelled during build phase: %w", opts.Ctx.Err())
 	}
 
-	r.prepareLayout()
-	r.execute()
-	if r.cancelled() {
+	r.guard("phase2", func() {
+		r.prepareLayout()
+		r.execute()
+	})
+	if err := r.failure(); err != nil {
+		return Stats{}, fmt.Errorf("exec: query failed: %w", err)
+	}
+	if r.ctxDone() {
 		return Stats{}, fmt.Errorf("exec: query cancelled: %w", opts.Ctx.Err())
 	}
 
@@ -320,15 +366,29 @@ type run struct {
 	done                   <-chan struct{}
 	cacheHits, cacheMisses atomic.Int64
 
+	// failed flips when any worker records a failure (a recovered
+	// panic or an injected fault); cancelled() folds it in so sibling
+	// workers of the same query stop promptly. failErr keeps the first
+	// recorded failure.
+	failed  atomic.Bool
+	failMu  sync.Mutex
+	failErr error
+
 	// collectMu serializes CollectOutput callbacks across workers.
 	collectMu     sync.Mutex
 	collectLocked bool
 }
 
-// cancelled reports whether the run's context is done. It is the
-// cooperative cancellation poll of both phases: cheap enough to call
-// between driver chunks, relation builds and reduction chunks.
+// cancelled reports whether the run should stop working: the context
+// is done or a sibling worker recorded a failure. It is the
+// cooperative stop poll of both phases: cheap enough to call between
+// driver chunks, relation builds and reduction chunks.
 func (r *run) cancelled() bool {
+	return r.failed.Load() || r.ctxDone()
+}
+
+// ctxDone reports whether the run's context (alone) is done.
+func (r *run) ctxDone() bool {
 	if r.done == nil {
 		return false
 	}
@@ -340,13 +400,43 @@ func (r *run) cancelled() bool {
 	}
 }
 
-// stopFn returns cancelled as a poll hook for the morsel-level build
-// loops, or nil when the run has no context (so the builds skip the
-// polling entirely).
-func (r *run) stopFn() func() bool {
-	if r.done == nil {
-		return nil
+// fail records a worker failure (first error wins) and flips the stop
+// flag so every other worker of this query winds down at its next
+// poll. Safe for concurrent use.
+func (r *run) fail(err error) {
+	r.failMu.Lock()
+	if r.failErr == nil {
+		r.failErr = err
 	}
+	r.failMu.Unlock()
+	r.failed.Store(true)
+}
+
+// failure returns the first recorded worker failure, or nil.
+func (r *run) failure() error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return r.failErr
+}
+
+// guard runs fn under the executor's panic boundary: a panic anywhere
+// below becomes a recorded *PanicError instead of unwinding into the
+// caller (and, for pool goroutines, instead of killing the process).
+// Every goroutine the executor spawns runs its whole body inside
+// guard; Run additionally guards the two phases on the calling
+// goroutine so sequential execution is isolated the same way.
+func (r *run) guard(site string, fn func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.fail(&PanicError{Site: site, Value: v, Stack: debug.Stack()})
+		}
+	}()
+	fn()
+}
+
+// stopFn returns cancelled as a poll hook for the morsel-level build
+// loops.
+func (r *run) stopFn() func() bool {
 	return r.cancelled
 }
 
@@ -372,6 +462,10 @@ func (r *run) buildTables() {
 	arts := r.opts.Artifacts
 	stop := r.stopFn()
 	r.forEachNonRoot(func(id plan.NodeID) {
+		if err := faultinject.Fire(faultinject.SiteBuildRelation); err != nil {
+			r.fail(err)
+			return
+		}
 		if arts != nil {
 			if tbl := arts.Table(id); tbl != nil {
 				r.tables[id] = tbl
@@ -470,13 +564,15 @@ func (r *run) forEachNonRoot(fn func(id plan.NodeID)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ids) || r.cancelled() {
-					return
+			r.guard("phase1-build", func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ids) || r.cancelled() {
+						return
+					}
+					fn(ids[i])
 				}
-				fn(ids[i])
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -556,6 +652,10 @@ func (r *run) execute() {
 			if r.cancelled() {
 				return
 			}
+			if err := faultinject.Fire(faultinject.SiteProbeChunk); err != nil {
+				r.fail(err)
+				return
+			}
 			runChunk(w, i)
 		}
 		r.merge(w)
@@ -571,13 +671,19 @@ func (r *run) execute() {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= nChunks || r.cancelled() {
-					return
+			r.guard("phase2-worker", func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nChunks || r.cancelled() {
+						return
+					}
+					if err := faultinject.Fire(faultinject.SiteProbeChunk); err != nil {
+						r.fail(err)
+						return
+					}
+					runChunk(w, i)
 				}
-				runChunk(w, i)
-			}
+			})
 		}(workers[wi])
 	}
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
@@ -93,6 +94,10 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 	n := mask.Len()
 	p := r.opts.Parallelism
 	if p <= 1 || n < minParallelReduceRows {
+		if err := faultinject.Fire(faultinject.SiteReduceChunk); err != nil {
+			r.fail(err)
+			return
+		}
 		r.addSemiJoinStats(table.ReduceLive(keyCol, mask, 0, n))
 		return
 	}
@@ -112,16 +117,22 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			// Poll between reduction chunks: a chunk skipped after
-			// cancellation leaves its mask words unreduced, which is
-			// fine — the run aborts before the mask is consumed.
-			if r.cancelled() {
-				return
-			}
-			st := table.ReduceLive(keyCol, mask, lo, hi)
-			probed.Add(int64(st.Probed))
-			tagHits.Add(int64(st.TagHits))
-			tagMisses.Add(int64(st.TagMisses))
+			r.guard("sj-reduce", func() {
+				// Poll between reduction chunks: a chunk skipped after
+				// cancellation leaves its mask words unreduced, which is
+				// fine — the run aborts before the mask is consumed.
+				if r.cancelled() {
+					return
+				}
+				if err := faultinject.Fire(faultinject.SiteReduceChunk); err != nil {
+					r.fail(err)
+					return
+				}
+				st := table.ReduceLive(keyCol, mask, lo, hi)
+				probed.Add(int64(st.Probed))
+				tagHits.Add(int64(st.TagHits))
+				tagMisses.Add(int64(st.TagMisses))
+			})
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledIsFree: with nothing armed, Fire returns nil for every
+// site and allocates nothing.
+func TestDisabledIsFree(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true with no plan armed")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, s := range Sites() {
+			if err := Fire(s); err != nil {
+				t.Fatalf("disarmed Fire(%s) = %v", s, err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed Fire allocates %.1f/run", allocs)
+	}
+}
+
+// TestEveryTriggerExactHits: Every=n fires on exactly the hits
+// divisible by n, and the error carries the hit number.
+func TestEveryTriggerExactHits(t *testing.T) {
+	Enable(Spec{Site: SiteProbeChunk, Mode: ModeError, Every: 3})
+	defer Disable()
+	var fired []uint64
+	for i := 1; i <= 12; i++ {
+		if err := Fire(SiteProbeChunk); err != nil {
+			inj := err.(*Injected)
+			fired = append(fired, inj.Hit)
+		}
+	}
+	want := []uint64{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	st := Stats()[SiteProbeChunk]
+	if st.Hits != 12 || st.Fires != 4 {
+		t.Fatalf("stats %+v, want 12 hits / 4 fires", st)
+	}
+}
+
+// TestProbTriggerDeterministic: the same (seed, prob) fires on the
+// same hit numbers across independent runs, and a different seed
+// gives a different (but still deterministic) set.
+func TestProbTriggerDeterministic(t *testing.T) {
+	run := func(seed uint64) []int {
+		Enable(Spec{Site: SiteAdmit, Mode: ModeError, Prob: 0.3, Seed: seed})
+		defer Disable()
+		var fired []int
+		for i := 1; i <= 200; i++ {
+			if Fire(SiteAdmit) != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob=0.3 fired %d/200 times; trigger degenerate", len(a))
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed fired on different hits: %v vs %v", a, b)
+		}
+	}
+	if c := run(43); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds fired on identical hit sets")
+		}
+	}
+}
+
+// TestLimitBoundsFires: Limit stops firing after the cap even though
+// hits keep triggering.
+func TestLimitBoundsFires(t *testing.T) {
+	Enable(Spec{Site: SiteCacheInsert, Mode: ModeError, Every: 1, Limit: 2})
+	defer Disable()
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if Fire(SiteCacheInsert) != nil {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, want Limit=2", fires)
+	}
+}
+
+// TestPanicMode: ModePanic panics with an *Injected value that
+// IsInjected recognizes.
+func TestPanicMode(t *testing.T) {
+	Enable(Spec{Site: SiteBuildMorsel, Mode: ModePanic, Every: 1})
+	defer Disable()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+		if !IsInjected(v) {
+			t.Fatalf("panic value %v not recognized as injected", v)
+		}
+	}()
+	Fire(SiteBuildMorsel)
+}
+
+// TestDelayMode: ModeDelay sleeps without returning an error.
+func TestDelayMode(t *testing.T) {
+	Enable(Spec{Site: SiteReduceChunk, Mode: ModeDelay, Every: 1, Delay: 5 * time.Millisecond})
+	defer Disable()
+	t0 := time.Now()
+	if err := Fire(SiteReduceChunk); err != nil {
+		t.Fatalf("delay mode returned error %v", err)
+	}
+	if d := time.Since(t0); d < 5*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+// TestConcurrentFireCountsEveryHit: hit numbering is atomic — N
+// goroutines hammering one site account for every hit exactly once.
+func TestConcurrentFireCountsEveryHit(t *testing.T) {
+	Enable(Spec{Site: SiteProbeChunk, Mode: ModeError, Every: 5})
+	defer Disable()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < perG; i++ {
+				if Fire(SiteProbeChunk) != nil {
+					local++
+				}
+			}
+			mu.Lock()
+			fires += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	st := Stats()[SiteProbeChunk]
+	if st.Hits != goroutines*perG {
+		t.Fatalf("counted %d hits, want %d", st.Hits, goroutines*perG)
+	}
+	if want := goroutines * perG / 5; fires != want {
+		t.Fatalf("fired %d times, want exactly %d", fires, want)
+	}
+}

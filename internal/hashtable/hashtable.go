@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"m2mjoin/internal/buf"
+	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/storage"
 )
 
@@ -192,6 +193,13 @@ func BuildParallelStop(rel *storage.Relation, keyColumn string, live *storage.Bi
 		// as cheap as writing and re-reading a per-row scratch word
 		// (measured equal), and leaves the sequential build with no
 		// scratch at all.
+		//
+		// The build has no error return, so an injected error at the
+		// morsel failpoint surfaces as a panic; the executor's worker
+		// guards convert it into a failed query.
+		if err := faultinject.Fire(faultinject.SiteBuildMorsel); err != nil {
+			panic(err)
+		}
 		t.histogram(keyCol, live)
 		if stop != nil && stop() {
 			return nil
@@ -222,17 +230,39 @@ func BuildParallelStop(rel *storage.Relation, keyColumn string, live *storage.Bi
 			}
 			offsets[m+1] = offsets[m] + n
 		}
-		// Pass 1b (parallel): gather into disjoint scratch slots.
+		// Pass 1b (parallel): gather into disjoint scratch slots. A
+		// panicking gather worker (including an injected build-morsel
+		// fault — the build has no error return, so error-mode faults
+		// panic here) is captured and re-thrown on the calling
+		// goroutine after the pool drains, so the panic unwinds through
+		// the caller's recover boundary instead of killing the process;
+		// sibling workers stop at their next morsel poll.
 		var nextMorsel atomic.Int64
 		var wg sync.WaitGroup
+		var aborted atomic.Bool
+		var panicMu sync.Mutex
+		var panicked any
 		for wi := 0; wi < workers; wi++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if v := recover(); v != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = v
+						}
+						panicMu.Unlock()
+						aborted.Store(true)
+					}
+				}()
 				for {
 					m := int(nextMorsel.Add(1)) - 1
-					if m >= nMorsels || (stop != nil && stop()) {
+					if m >= nMorsels || aborted.Load() || (stop != nil && stop()) {
 						return
+					}
+					if err := faultinject.Fire(faultinject.SiteBuildMorsel); err != nil {
+						panic(err)
 					}
 					lo := m * morselRows
 					t.gatherMorsel(g, keyCol, live, lo, min(lo+morselRows, total), offsets[m])
@@ -240,6 +270,9 @@ func BuildParallelStop(rel *storage.Relation, keyColumn string, live *storage.Bi
 			}()
 		}
 		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
 		if stop != nil && stop() {
 			return nil
 		}

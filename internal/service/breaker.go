@@ -1,0 +1,277 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements the per-dataset load-shedding circuit breaker:
+// a sliding window of recent query outcomes (failures and latency)
+// feeding the classic closed → open → half-open state machine. When a
+// dataset's recent failure ratio crosses the threshold with enough
+// samples, the breaker opens and the service fast-rejects that
+// dataset's queries (ClassShed, jittered Retry-After hint) instead of
+// burning admission slots and workers on an unhealthy workload; after
+// a cooldown, a bounded number of half-open probes decide whether to
+// close again. Failures here mean the engine or the deadline broke
+// (internal errors and timeouts) — shed rejections and client
+// cancellations are deliberately not counted, so the breaker cannot
+// latch itself open on its own rejections.
+
+// BreakerState is the circuit breaker's state.
+type BreakerState string
+
+const (
+	// BreakerClosed: traffic flows, outcomes are tracked.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: traffic is fast-rejected until the cooldown ends.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: a bounded number of probe queries test the
+	// water; one failure re-opens, enough successes close.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig tunes the circuit breaker. The zero value enables the
+// breaker with the defaults noted per field; set Disabled to opt out.
+type BreakerConfig struct {
+	// Disabled turns the breaker off entirely.
+	Disabled bool
+	// Window is the sliding outcome window (default 10s), divided into
+	// Buckets ring buckets (default 10) that age out wholesale.
+	Window  time.Duration
+	Buckets int
+	// MinSamples is the minimum window volume before the failure ratio
+	// is trusted (default 10).
+	MinSamples int
+	// FailureRatio opens the breaker when window failures/samples
+	// reaches it (default 0.5).
+	FailureRatio float64
+	// Cooldown is how long the breaker stays open before probing
+	// (default 1s); the Retry-After hint is the remaining cooldown,
+	// jittered.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many successful probes close a half-open
+	// breaker; while probing, at most this many queries are admitted
+	// at once (default 2).
+	HalfOpenProbes int
+	// SlowCallThreshold, when nonzero, counts queries slower than this
+	// as failures even if they succeeded — latency-based shedding for
+	// a wedged-but-not-failing backend.
+	SlowCallThreshold time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.FailureRatio <= 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+// breakerBucket is one ring slot of outcome counts.
+type breakerBucket struct {
+	ok, fail   int64
+	latencySum time.Duration
+}
+
+// breaker is one dataset's circuit breaker. All methods are safe for
+// concurrent use; now is injectable for deterministic tests.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	buckets     []breakerBucket
+	bucketIdx   int
+	bucketFlip  time.Time // when the current bucket ages out
+	openedAt    time.Time
+	probeActive int   // half-open probes in flight
+	probeOK     int   // half-open successes so far
+	opens       int64 // lifetime open transitions
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		cfg:        cfg,
+		now:        now,
+		state:      BreakerClosed,
+		buckets:    make([]breakerBucket, cfg.Buckets),
+		bucketFlip: now().Add(cfg.Window / time.Duration(cfg.Buckets)),
+	}
+}
+
+// allow decides whether a query may proceed. nil means yes — the
+// caller must then call done exactly once with the outcome. A non-nil
+// error is a ClassShed rejection carrying the jittered retry hint.
+func (b *breaker) allow() error {
+	if b == nil || b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.advance(now)
+	switch b.state {
+	case BreakerOpen:
+		remaining := b.openedAt.Add(b.cfg.Cooldown).Sub(now)
+		if remaining > 0 {
+			return shedErr(fmt.Errorf("circuit breaker open (%v of cooldown remaining)", remaining), jitter(remaining))
+		}
+		// Cooldown over: start probing.
+		b.state = BreakerHalfOpen
+		b.probeActive, b.probeOK = 0, 0
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probeActive >= b.cfg.HalfOpenProbes {
+			return shedErr(fmt.Errorf("circuit breaker half-open, probe slots busy"), jitter(b.cfg.Cooldown/2))
+		}
+		b.probeActive++
+	}
+	return nil
+}
+
+// done records one allowed query's outcome by failure class ("" for
+// success). Timeouts and internal failures count against the window;
+// sheds and client cancellations release their half-open probe slot
+// without biasing the window either way (counting a shed as a failure
+// would latch the breaker open on its own rejections; counting it as
+// a success would dilute real failures).
+func (b *breaker) done(cls Class, latency time.Duration) {
+	if b == nil || b.cfg.Disabled {
+		return
+	}
+	failure := cls == ClassTimeout || cls == ClassInternal
+	ignored := cls == ClassShed || cls == ClassCanceled
+	if !failure && !ignored && b.cfg.SlowCallThreshold > 0 && latency > b.cfg.SlowCallThreshold {
+		failure = true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.advance(now)
+
+	if b.state == BreakerHalfOpen {
+		if b.probeActive > 0 {
+			b.probeActive--
+		}
+		if ignored {
+			return
+		}
+		if failure {
+			b.open(now)
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			// Probes passed: close with a clean window so stale
+			// failures cannot immediately re-open.
+			b.state = BreakerClosed
+			for i := range b.buckets {
+				b.buckets[i] = breakerBucket{}
+			}
+		}
+		return
+	}
+	if ignored {
+		return
+	}
+
+	bk := &b.buckets[b.bucketIdx]
+	if failure {
+		bk.fail++
+	} else {
+		bk.ok++
+	}
+	bk.latencySum += latency
+	if b.state == BreakerClosed && failure {
+		okN, failN := b.windowCounts()
+		total := okN + failN
+		if total >= int64(b.cfg.MinSamples) &&
+			float64(failN) >= b.cfg.FailureRatio*float64(total) {
+			b.open(now)
+		}
+	}
+}
+
+// open transitions to the open state (caller holds mu).
+func (b *breaker) open(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.opens++
+	b.probeActive, b.probeOK = 0, 0
+}
+
+// advance ages out ring buckets that have left the window (caller
+// holds mu).
+func (b *breaker) advance(now time.Time) {
+	span := b.cfg.Window / time.Duration(b.cfg.Buckets)
+	for !now.Before(b.bucketFlip) {
+		b.bucketIdx = (b.bucketIdx + 1) % len(b.buckets)
+		b.buckets[b.bucketIdx] = breakerBucket{}
+		b.bucketFlip = b.bucketFlip.Add(span)
+		// A long idle gap fast-forwards: once every bucket has been
+		// cleared there is no need to keep spinning the ring.
+		if b.bucketFlip.Add(b.cfg.Window).Before(now) {
+			b.bucketFlip = now.Add(span)
+			for i := range b.buckets {
+				b.buckets[i] = breakerBucket{}
+			}
+			break
+		}
+	}
+}
+
+// windowCounts sums the ring (caller holds mu).
+func (b *breaker) windowCounts() (ok, fail int64) {
+	for i := range b.buckets {
+		ok += b.buckets[i].ok
+		fail += b.buckets[i].fail
+	}
+	return ok, fail
+}
+
+// BreakerInfo is one dataset's breaker snapshot for /v1/stats.
+type BreakerInfo struct {
+	Dataset string       `json:"dataset"`
+	State   BreakerState `json:"state"`
+	// WindowOK / WindowFailures are the sliding-window outcome counts.
+	WindowOK       int64 `json:"windowOk"`
+	WindowFailures int64 `json:"windowFailures"`
+	// Opens counts lifetime closed→open transitions.
+	Opens int64 `json:"opens"`
+}
+
+// snapshot reads the breaker state for reporting.
+func (b *breaker) snapshot(dataset string) BreakerInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(b.now())
+	ok, fail := b.windowCounts()
+	return BreakerInfo{
+		Dataset:        dataset,
+		State:          b.state,
+		WindowOK:       ok,
+		WindowFailures: fail,
+		Opens:          b.opens,
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"m2mjoin/internal/bitvector"
 	"m2mjoin/internal/exec"
+	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/plan"
 )
@@ -103,6 +104,15 @@ func (c *artifactCache) get(key artifactKey) *cacheEntry {
 // duplicate insert keeps the resident entry (both are bit-identical by
 // construction).
 func (c *artifactCache) put(e *cacheEntry) {
+	// Insert failpoint, armed by the chaos suite. An injected error
+	// drops the insert — the cache is strictly best-effort, so the
+	// inserting query still succeeds and a later query rebuilds; an
+	// injected panic unwinds into the inserting build worker, whose
+	// guard fails that one query. Either way the fault fires before
+	// the lock, so cache state stays consistent.
+	if err := faultinject.Fire(faultinject.SiteCacheInsert); err != nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e.bytes > c.limit {

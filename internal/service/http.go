@@ -1,11 +1,11 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"m2mjoin/internal/storage"
@@ -81,7 +81,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		res, err := s.Query(r.Context(), req)
 		if err != nil {
-			writeError(w, queryErrorStatus(err), err)
+			writeQueryError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -92,17 +92,55 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-// queryErrorStatus maps query failures onto HTTP statuses: unknown
-// names and bad parameters are client errors; a cancelled query means
-// the client went away (the response is written for symmetry only).
-func queryErrorStatus(err error) int {
-	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
-	case strings.Contains(err.Error(), "unknown"), strings.Contains(err.Error(), "has no"):
+// StatusClientClosedRequest is the nginx-convention status for "the
+// client went away before the response": there is no standard code
+// for a canceled request, and 499 is what every proxy dashboard
+// already buckets separately from real 4xx/5xx.
+const StatusClientClosedRequest = 499
+
+// ErrorEnvelope is the JSON body of every non-200 query response: the
+// message, the failure class, and (for shed load) the server's
+// jittered retry hint. m2mload's HTTP runner decodes it to reconstruct
+// the typed error client-side, so retry classification survives the
+// wire.
+type ErrorEnvelope struct {
+	Error string `json:"error"`
+	Class Class  `json:"class,omitempty"`
+	// RetryAfterMillis mirrors the Retry-After header at millisecond
+	// precision (the header only speaks whole seconds).
+	RetryAfterMillis int64 `json:"retryAfterMillis,omitempty"`
+}
+
+// classStatus maps a failure class onto its HTTP status.
+func classStatus(c Class) int {
+	switch c {
+	case ClassInvalid:
 		return http.StatusBadRequest
+	case ClassTimeout:
+		return http.StatusRequestTimeout
+	case ClassShed:
+		return http.StatusServiceUnavailable
+	case ClassCanceled:
+		return StatusClientClosedRequest
 	}
 	return http.StatusInternalServerError
+}
+
+// writeQueryError renders a classified query failure: the class picks
+// the status (400 invalid, 408 timeout, 503 shed, 499 canceled, 500
+// internal), shed responses carry Retry-After, and the body is the
+// error envelope.
+func writeQueryError(w http.ResponseWriter, err error) {
+	cls := Classify(err)
+	env := ErrorEnvelope{Error: err.Error(), Class: cls}
+	if ra := RetryAfterHint(err); ra > 0 {
+		env.RetryAfterMillis = ra.Milliseconds()
+		// Retry-After speaks whole seconds; round up so the client
+		// never retries before the hint.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(math.Ceil(ra.Seconds()))))
+	}
+	writeJSON(w, classStatus(cls), env)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -112,5 +150,5 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, ErrorEnvelope{Error: err.Error(), Class: ClassInvalid})
 }

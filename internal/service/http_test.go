@@ -2,11 +2,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
+	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/storage"
 )
 
@@ -110,6 +113,129 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	if resp := postJSON(t, srv.URL+"/v1/datasets", RegisterRequest{Name: "x", Shape: "star", Rows: 300}, nil); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate register status %d", resp.StatusCode)
+	}
+}
+
+// decodeEnvelope re-reads a non-200 response as the error envelope.
+func decodeEnvelope(t *testing.T, resp *http.Response) ErrorEnvelope {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("response is not an error envelope: %v", err)
+	}
+	return env
+}
+
+// postJSONBody is postJSON but keeps the body readable for envelope
+// decoding on any status.
+func postJSONBody(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHTTPErrorEnvelope: failures come back as the classified JSON
+// envelope with the class-mapped status — 400 for invalid requests,
+// 408 for a blown per-query deadline, 503 + Retry-After for shed load.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	svc := New(Config{Parallelism: 2, MaxConcurrent: 2})
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(srv.Close)
+	if _, err := svc.RegisterGenerated(GenerateSpec{Name: "web", Shape: "star", Rows: 1200, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid: unknown dataset → 400, class invalid.
+	resp := postJSONBody(t, srv.URL+"/v1/query", Request{Dataset: "ghost"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown dataset status %d, want 400", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Class != ClassInvalid {
+		t.Fatalf("unknown dataset class %q, want invalid", env.Class)
+	}
+
+	// Timeout: a 1ms budget with every build morsel stretched cannot
+	// finish → 408, class timeout.
+	faultinject.Enable(faultinject.Spec{
+		Site: faultinject.SiteBuildMorsel, Mode: faultinject.ModeDelay,
+		Every: 1, Delay: 2 * time.Millisecond,
+	})
+	resp = postJSONBody(t, srv.URL+"/v1/query", Request{Dataset: "web", TimeoutMillis: 1})
+	faultinject.Disable()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("deadline query status %d, want 408", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp); env.Class != ClassTimeout {
+		t.Fatalf("deadline query class %q, want timeout", env.Class)
+	}
+
+	// Shed: a draining service → 503 with Retry-After and the hint
+	// mirrored in the envelope.
+	svc.StartDrain()
+	resp = postJSONBody(t, srv.URL+"/v1/query", Request{Dataset: "web"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining query status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After header")
+	}
+	env := decodeEnvelope(t, resp)
+	if env.Class != ClassShed || env.RetryAfterMillis <= 0 {
+		t.Fatalf("shed envelope %+v, want class shed with a retry hint", env)
+	}
+}
+
+// TestDrainFinishesInFlight: StartDrain stops admission immediately
+// but Drain waits for in-flight queries — the slow query admitted
+// before the drain completes normally while new arrivals shed.
+func TestDrainFinishesInFlight(t *testing.T) {
+	ds := genDataset(t, 1500, 7)
+	svc := New(Config{Parallelism: 2, MaxConcurrent: 2})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(faultinject.Spec{
+		Site: faultinject.SiteProbeChunk, Mode: faultinject.ModeDelay,
+		Every: 1, Delay: time.Millisecond,
+	})
+	defer faultinject.Disable()
+
+	started := make(chan struct{})
+	inflight := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := svc.Query(context.Background(), Request{Dataset: "ds", ChunkSize: 256})
+		inflight <- err
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let it get admitted and probing
+	svc.StartDrain()
+
+	// New work is shed immediately.
+	_, err := svc.Query(context.Background(), Request{Dataset: "ds"})
+	if Classify(err) != ClassShed {
+		t.Fatalf("query during drain: %v, want shed", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", err)
+	}
+	if st := svc.Stats(); !st.Draining || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("post-drain stats %+v, want draining and idle", st)
 	}
 }
 

@@ -37,6 +37,53 @@ type LoadConfig struct {
 	ZipfS float64
 	// Seed makes template draws deterministic per client.
 	Seed int64
+	// QueryTimeout, when nonzero, is stamped onto every request as its
+	// per-query deadline (Request.TimeoutMillis).
+	QueryTimeout time.Duration
+	// MaxRetries bounds how many times one query is retried after a
+	// retryable failure (shed or timeout; default 0 = no retries).
+	// Invalid, canceled and internal errors are never retried.
+	MaxRetries int
+	// RetryBase / RetryMax shape the exponential backoff between
+	// retries (defaults 10ms / 1s). A server Retry-After hint overrides
+	// the computed backoff when it is longer.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// ErrorBreakdown counts one load run's failures by class. Only
+// Internal (and Invalid, which indicates a broken mix) represent
+// engine trouble; timeouts and sheds are the resilience layer doing
+// its job under overload.
+type ErrorBreakdown struct {
+	Timeout  int64 `json:"timeout,omitempty"`
+	Shed     int64 `json:"shed,omitempty"`
+	Canceled int64 `json:"canceled,omitempty"`
+	Invalid  int64 `json:"invalid,omitempty"`
+	Internal int64 `json:"internal,omitempty"`
+}
+
+func (b *ErrorBreakdown) add(o ErrorBreakdown) {
+	b.Timeout += o.Timeout
+	b.Shed += o.Shed
+	b.Canceled += o.Canceled
+	b.Invalid += o.Invalid
+	b.Internal += o.Internal
+}
+
+func (b *ErrorBreakdown) record(cls Class) {
+	switch cls {
+	case ClassTimeout:
+		b.Timeout++
+	case ClassShed:
+		b.Shed++
+	case ClassCanceled:
+		b.Canceled++
+	case ClassInvalid:
+		b.Invalid++
+	default:
+		b.Internal++
+	}
 }
 
 // LoadReport aggregates a load run.
@@ -49,6 +96,12 @@ type LoadReport struct {
 	P95      time.Duration `json:"p95Ns"`
 	P99      time.Duration `json:"p99Ns"`
 	Max      time.Duration `json:"maxNs"`
+	// ErrorsByClass breaks Errors down by failure class; Retries counts
+	// re-issues that followed a retryable (shed/timeout) failure. A
+	// query that eventually succeeded after retries contributes to
+	// Retries but not to Errors.
+	ErrorsByClass ErrorBreakdown `json:"errorsByClass"`
+	Retries       int64          `json:"retries"`
 	// CacheHits/CacheMisses sum the per-query artifact counters across
 	// all issued queries.
 	CacheHits   int64 `json:"cacheHits"`
@@ -105,12 +158,20 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 	if cfg.ZipfS <= 1 {
 		cfg.ZipfS = 1.3
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Second
+	}
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
 	type clientAgg struct {
 		latencies            []time.Duration
 		errors               int64
+		breakdown            ErrorBreakdown
+		retries              int64
 		hits, misses, tuples int64
 	}
 	aggs := make([]clientAgg, cfg.Clients)
@@ -125,13 +186,17 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Templates)-1))
 			for runCtx.Err() == nil {
 				req := cfg.Templates[zipf.Uint64()]
+				if cfg.QueryTimeout > 0 {
+					req.TimeoutMillis = cfg.QueryTimeout.Milliseconds()
+				}
 				t0 := time.Now()
-				res, err := r.Query(runCtx, req)
+				res, err := queryWithRetry(runCtx, r, req, cfg, rng, &agg.retries)
 				if err != nil {
 					// The deadline firing mid-query is the normal end of
 					// a closed loop, not a workload error.
 					if runCtx.Err() == nil {
 						agg.errors++
+						agg.breakdown.record(Classify(err))
 					}
 					continue
 				}
@@ -150,6 +215,8 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 	for i := range aggs {
 		all = append(all, aggs[i].latencies...)
 		report.Errors += aggs[i].errors
+		report.ErrorsByClass.add(aggs[i].breakdown)
+		report.Retries += aggs[i].retries
 		report.CacheHits += aggs[i].hits
 		report.CacheMisses += aggs[i].misses
 		report.OutputTuples += aggs[i].tuples
@@ -173,18 +240,55 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 	return report, nil
 }
 
+// queryWithRetry issues one query, retrying retryable failures (shed,
+// timeout) up to cfg.MaxRetries times with exponential backoff. The
+// server's Retry-After hint, when present and longer than the computed
+// backoff, wins; backoff is jittered ±25% so retries from concurrent
+// clients decorrelate. Non-retryable failures and run-deadline expiry
+// return immediately.
+func queryWithRetry(ctx context.Context, r Runner, req Request, cfg LoadConfig, rng *rand.Rand, retries *int64) (Result, error) {
+	var res Result
+	var err error
+	backoff := cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		res, err = r.Query(ctx, req)
+		if err == nil || attempt >= cfg.MaxRetries ||
+			!Retryable(Classify(err)) || ctx.Err() != nil {
+			return res, err
+		}
+		wait := backoff
+		if hint := RetryAfterHint(err); hint > wait {
+			wait = hint
+		}
+		// Jitter ±25%.
+		wait += time.Duration((rng.Float64() - 0.5) * 0.5 * float64(wait))
+		select {
+		case <-ctx.Done():
+			return res, err
+		case <-time.After(wait):
+		}
+		*retries++
+		if backoff *= 2; backoff > cfg.RetryMax {
+			backoff = cfg.RetryMax
+		}
+	}
+}
+
 // String renders the report as the m2mload summary block.
 func (r LoadReport) String() string {
 	hitRate := 0.0
 	if r.CacheHits+r.CacheMisses > 0 {
 		hitRate = float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
 	}
+	b := r.ErrorsByClass
 	return fmt.Sprintf(
-		"queries=%d errors=%d elapsed=%v qps=%.1f\n"+
+		"queries=%d errors=%d retries=%d elapsed=%v qps=%.1f\n"+
+			"errors by class: timeout=%d shed=%d canceled=%d invalid=%d internal=%d\n"+
 			"latency p50=%v p95=%v p99=%v max=%v\n"+
 			"artifact cache: hits=%d misses=%d hit-rate=%.1f%%\n"+
 			"output tuples: %d",
-		r.Queries, r.Errors, r.Duration.Round(time.Millisecond), r.QPS,
+		r.Queries, r.Errors, r.Retries, r.Duration.Round(time.Millisecond), r.QPS,
+		b.Timeout, b.Shed, b.Canceled, b.Invalid, b.Internal,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
 		r.CacheHits, r.CacheMisses, 100*hitRate, r.OutputTuples)

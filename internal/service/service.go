@@ -26,6 +26,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -51,9 +52,26 @@ type Config struct {
 	// queries by the admission controller (default GOMAXPROCS).
 	Parallelism int
 	// MaxConcurrent bounds the number of queries executing at once;
-	// further queries wait (default max(Parallelism, 2)).
+	// further queries wait — up to MaxQueued deep and AdmitTimeout
+	// long (default max(Parallelism, 2)).
 	MaxConcurrent int
+	// MaxQueued bounds the admission queue depth; a query arriving
+	// with MaxQueued waiters ahead of it is shed immediately
+	// (ClassShed, Retry-After hint) instead of joining an unbounded
+	// pile-up. Default 4*MaxConcurrent; negative disables the bound.
+	MaxQueued int
+	// AdmitTimeout bounds one query's wait for admission; a waiter
+	// that exceeds it is shed with a retry hint. Default 2s; negative
+	// disables the bound (the caller's context still applies).
+	AdmitTimeout time.Duration
+	// Breaker tunes the per-dataset load-shedding circuit breaker
+	// (see BreakerConfig; the zero value enables it with defaults).
+	Breaker BreakerConfig
 }
+
+// DefaultAdmitTimeout bounds admission queueing when
+// Config.AdmitTimeout is zero.
+const DefaultAdmitTimeout = 2 * time.Second
 
 // DefaultCacheBytes is the artifact cache budget when Config.CacheBytes
 // is zero.
@@ -70,6 +88,44 @@ type Service struct {
 	datasets map[string]*datasetEntry
 
 	queries atomic.Int64
+	// draining flips when a drain starts: new queries are shed, the
+	// in-flight ones finish.
+	draining atomic.Bool
+	// errCounts tallies failed queries by class, for /v1/stats and the
+	// drain report.
+	errCounts errorCounters
+
+	// now is the clock, injectable for deterministic breaker tests.
+	now func() time.Time
+}
+
+// errorCounters tallies query failures by class.
+type errorCounters struct {
+	invalid, timeout, shed, canceled, internal atomic.Int64
+}
+
+func (c *errorCounters) record(cls Class) {
+	switch cls {
+	case ClassInvalid:
+		c.invalid.Add(1)
+	case ClassTimeout:
+		c.timeout.Add(1)
+	case ClassShed:
+		c.shed.Add(1)
+	case ClassCanceled:
+		c.canceled.Add(1)
+	default:
+		c.internal.Add(1)
+	}
+}
+
+// ErrorCounts is the per-class failure tally exposed by Stats.
+type ErrorCounts struct {
+	Invalid  int64 `json:"invalid"`
+	Timeout  int64 `json:"timeout"`
+	Shed     int64 `json:"shed"`
+	Canceled int64 `json:"canceled"`
+	Internal int64 `json:"internal"`
 }
 
 // datasetEntry is one catalog entry: the dataset, its memoized
@@ -83,6 +139,9 @@ type datasetEntry struct {
 	keyCols []string
 
 	statsCache *workload.EdgeStatsCache
+
+	// breaker is this dataset's load-shedding circuit breaker.
+	breaker *breaker
 
 	planMu sync.Mutex
 	plans  map[planKey]core.PlanChoice
@@ -107,11 +166,24 @@ func New(cfg Config) *Service {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = max(cfg.Parallelism, 2)
 	}
+	switch {
+	case cfg.MaxQueued == 0:
+		cfg.MaxQueued = 4 * cfg.MaxConcurrent
+	case cfg.MaxQueued < 0:
+		cfg.MaxQueued = 0 // unbounded
+	}
+	switch {
+	case cfg.AdmitTimeout == 0:
+		cfg.AdmitTimeout = DefaultAdmitTimeout
+	case cfg.AdmitTimeout < 0:
+		cfg.AdmitTimeout = 0 // unbounded
+	}
 	return &Service{
 		cfg:      cfg,
 		cache:    newArtifactCache(cfg.CacheBytes),
-		admit:    newAdmission(cfg.Parallelism, cfg.MaxConcurrent),
+		admit:    newAdmission(cfg.Parallelism, cfg.MaxConcurrent, cfg.MaxQueued, cfg.AdmitTimeout),
 		datasets: make(map[string]*datasetEntry),
+		now:      time.Now,
 	}
 }
 
@@ -142,6 +214,7 @@ func (s *Service) RegisterDataset(name string, ds *storage.Dataset) (DatasetInfo
 		nodeOf:     make(map[string]plan.NodeID, ds.Tree.Len()),
 		keyCols:    make([]string, ds.Tree.Len()),
 		statsCache: workload.NewEdgeStatsCache(),
+		breaker:    newBreaker(s.cfg.Breaker, s.now),
 		plans:      make(map[planKey]core.PlanChoice),
 	}
 	for i := 0; i < ds.Tree.Len(); i++ {
@@ -255,6 +328,12 @@ type Request struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// ChunkSize overrides the driver batch size (0 = default).
 	ChunkSize int `json:"chunkSize,omitempty"`
+	// TimeoutMillis is the query's end-to-end deadline in
+	// milliseconds, covering admission queueing and execution. On
+	// expiry the query releases its slot promptly (cancellation is
+	// polled at every chunk/morsel boundary) and fails with
+	// ClassTimeout. 0 leaves only the client context's deadline.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 	// Selections are pushed-down equality predicates.
 	Selections []SelectionSpec `json:"selections,omitempty"`
 }
@@ -278,20 +357,44 @@ type Result struct {
 
 // Query plans (memoized per dataset) and executes one query under
 // admission control, sharing phase-1 artifacts through the cache.
-// Cancellation of ctx aborts both queueing and execution promptly.
-func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
+//
+// The resilience contract: cancellation of ctx aborts both queueing
+// and execution promptly; Request.TimeoutMillis bounds the whole
+// attempt; overload (full admission queue, admission wait exceeded,
+// open circuit breaker, draining service) is shed with a typed
+// ClassShed error carrying a jittered retry hint; and every failure —
+// including worker panics, which the executor converts into errors —
+// comes back as a *QueryError with a Class, never as a crashed
+// process. The deferred release and the recover boundary together
+// guarantee a failed query cannot leak its admission slot.
+func (s *Service) Query(ctx context.Context, req Request) (res Result, err error) {
+	defer func() {
+		// Last line of defense: a panic between admission and release
+		// (outside the executor's own guards) becomes a classified
+		// internal error; the deferred release above it still runs.
+		if v := recover(); v != nil {
+			err = &QueryError{Class: ClassInternal,
+				Err: fmt.Errorf("query panic: %v", v)}
+		}
+		if err != nil {
+			s.errCounts.record(Classify(err))
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.draining.Load() {
+		return Result{}, shedErr(fmt.Errorf("service is draining"), jitter(time.Second))
 	}
 	s.mu.RLock()
 	e := s.datasets[req.Dataset]
 	s.mu.RUnlock()
 	if e == nil {
-		return Result{}, fmt.Errorf("service: unknown dataset %q", req.Dataset)
+		return Result{}, invalidErr(fmt.Errorf("unknown dataset %q", req.Dataset))
 	}
 	sels, err := e.resolveSelections(req.Selections)
 	if err != nil {
-		return Result{}, err
+		return Result{}, invalidErr(err)
 	}
 	// Plan before admission: the first plan per (strategy, flat) pair
 	// measures edge statistics and runs the optimizer search, which
@@ -299,16 +402,39 @@ func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
 	// would head-of-line-block warm queries behind cold-start planning.
 	choice, err := e.plan(req.Strategy, req.FlatOutput)
 	if err != nil {
+		return Result{}, invalidErr(err)
+	}
+
+	// The per-query deadline covers queueing and execution both: a
+	// query that burned its budget waiting must not start executing.
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Fast-reject before admission while the dataset's breaker is
+	// open: a known-unhealthy workload should not consume queue depth.
+	if err := e.breaker.allow(); err != nil {
 		return Result{}, err
 	}
+	defer func() {
+		// The breaker counts engine failures and deadline expiries;
+		// sheds and client cancellations release their probe slot
+		// without feeding back into the window (see breaker.done).
+		e.breaker.done(Classify(err), res.Elapsed)
+	}()
 
 	enqueued := time.Now()
 	workers, release, err := s.admit.acquire(ctx)
 	if err != nil {
-		return Result{}, fmt.Errorf("service: query rejected while queued: %w", err)
+		return Result{}, err
 	}
 	defer release()
 	queued := time.Since(enqueued)
+	if s.draining.Load() {
+		return Result{}, shedErr(fmt.Errorf("service is draining"), jitter(time.Second))
+	}
 	if req.Parallelism > 0 && req.Parallelism < workers {
 		workers = req.Parallelism
 	}
@@ -332,18 +458,32 @@ func (s *Service) Query(ctx context.Context, req Request) (Result, error) {
 		Artifacts:   arts,
 		Selections:  sels,
 	})
+	elapsed := time.Since(start)
 	if err != nil {
-		return Result{}, err
+		return Result{Elapsed: elapsed}, classifyExecError(err)
 	}
 	return Result{
 		Dataset:  req.Dataset,
 		Strategy: choice.Strategy.String(),
 		Order:    choice.Order.String(),
 		Workers:  workers,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		Queued:   queued,
 		Stats:    stats,
 	}, nil
+}
+
+// classifyExecError wraps an executor failure in its class: deadline
+// expiry is a timeout, client cancellation is canceled, anything else
+// (including recovered worker panics) is internal.
+func classifyExecError(err error) *QueryError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &QueryError{Class: ClassTimeout, Err: err}
+	case errors.Is(err, context.Canceled):
+		return &QueryError{Class: ClassCanceled, Err: err}
+	}
+	return &QueryError{Class: ClassInternal, Err: err}
 }
 
 // resolveSelections maps name-addressed selection specs to
@@ -436,21 +576,73 @@ func (s *Service) artifactsFor(e *datasetEntry, sels []exec.Selection) exec.Arti
 
 // Stats is a service-wide counter snapshot.
 type Stats struct {
-	Datasets int        `json:"datasets"`
-	Queries  int64      `json:"queries"`
-	Active   int        `json:"active"`
+	Datasets int   `json:"datasets"`
+	Queries  int64 `json:"queries"`
+	Active   int   `json:"active"`
+	// Queued is the number of queries waiting for admission.
+	Queued int `json:"queued"`
+	// Draining reports whether the service has stopped admitting.
+	Draining bool       `json:"draining"`
 	Cache    CacheStats `json:"cache"`
+	// Errors tallies failed queries by class since creation.
+	Errors ErrorCounts `json:"errors"`
+	// Breakers snapshots every dataset's circuit breaker, in name
+	// order.
+	Breakers []BreakerInfo `json:"breakers,omitempty"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.RLock()
 	nds := len(s.datasets)
+	breakers := make([]BreakerInfo, 0, nds)
+	for _, e := range s.datasets {
+		breakers = append(breakers, e.breaker.snapshot(e.name))
+	}
 	s.mu.RUnlock()
+	sort.Slice(breakers, func(i, j int) bool { return breakers[i].Dataset < breakers[j].Dataset })
 	return Stats{
 		Datasets: nds,
 		Queries:  s.queries.Load(),
 		Active:   s.admit.activeCount(),
+		Queued:   s.admit.queuedCount(),
+		Draining: s.draining.Load(),
 		Cache:    s.cache.stats(),
+		Errors: ErrorCounts{
+			Invalid:  s.errCounts.invalid.Load(),
+			Timeout:  s.errCounts.timeout.Load(),
+			Shed:     s.errCounts.shed.Load(),
+			Canceled: s.errCounts.canceled.Load(),
+			Internal: s.errCounts.internal.Load(),
+		},
+		Breakers: breakers,
+	}
+}
+
+// StartDrain makes the service stop admitting new queries: every
+// subsequent Query is shed with ClassShed while queries already
+// admitted run to completion. Idempotent.
+func (s *Service) StartDrain() { s.draining.Store(true) }
+
+// Drain gracefully quiesces the service: it stops admitting new
+// queries and waits until every admitted query has finished (the
+// admission active count reaches zero) or ctx expires, whichever
+// comes first. It returns nil on a clean drain and ctx.Err() if
+// in-flight queries outlived the deadline. Safe to call once
+// concurrent traffic is still arriving — late arrivals are shed, not
+// queued.
+func (s *Service) Drain(ctx context.Context) error {
+	s.StartDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.admit.activeCount() == 0 && s.admit.queuedCount() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
 	}
 }

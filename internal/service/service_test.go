@@ -321,7 +321,7 @@ func TestQueryCancellationPropagates(t *testing.T) {
 // active count at admission, the concurrency bound queues the
 // overflow, and queued waiters honor cancellation.
 func TestAdmissionSplitsWorkers(t *testing.T) {
-	a := newAdmission(8, 2)
+	a := newAdmission(8, 2, 0, 0) // unbounded queue, no admission timeout
 	ctx := context.Background()
 	w1, rel1, err := a.acquire(ctx)
 	if err != nil || w1 != 8 {
