@@ -20,6 +20,7 @@ import (
 	"m2mjoin/internal/experiments"
 	"m2mjoin/internal/opt"
 	"m2mjoin/internal/plan"
+	"m2mjoin/internal/shard"
 	"m2mjoin/internal/workload"
 )
 
@@ -142,6 +143,51 @@ func BenchmarkStrategiesParallel(b *testing.B) {
 						checksum = stats.Checksum
 					} else if stats.Checksum != checksum {
 						b.Fatalf("checksum changed across runs")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStrategiesSharded sweeps the shard count of the in-process
+// scatter-gather layer (exec.RunSharded over a shard.Partition) on the
+// Snowflake32 shape at a fixed worker budget, for every strategy. The
+// benchmark also enforces the layer's core claim inline: the merged
+// checksum is bit-identical at every shard count. Shard count 1 is the
+// unsharded baseline (the partition is the original dataset), so the
+// deltas isolate the partitioning + replicated-build overhead that the
+// serving tier pays for failover granularity.
+func BenchmarkStrategiesSharded(b *testing.B) {
+	rng := rand.New(rand.NewSource(123))
+	tr := plan.Snowflake(3, 2, plan.UniformStats(rng, 0.5, 0.8, 1, 3))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 30000, Seed: 99})
+	model := cost.New(workload.MeasuredTree(ds), cost.DefaultWeights())
+	order := opt.Optimize(model, cost.COM, opt.GreedySurvival).Order
+	partitions := map[int][]shard.Shard{}
+	for _, n := range []int{1, 2, 4} {
+		parts, err := shard.Partition(ds, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		partitions[n] = parts
+	}
+	for _, s := range cost.AllStrategies {
+		var checksum uint64
+		for _, n := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("Snowflake32/%s/shards%d", s, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					stats, err := exec.RunSharded(partitions[n], exec.Options{
+						Strategy: s, Order: order, FlatOutput: true, Parallelism: 4,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if checksum == 0 {
+						checksum = stats.Checksum
+					} else if stats.Checksum != checksum {
+						b.Fatalf("checksum changed across shard counts")
 					}
 				}
 			})

@@ -12,23 +12,23 @@
 // Failures are counted by class (timeout / shed / canceled / invalid /
 // internal): timeouts and sheds are the service's resilience layer
 // working as designed, so with -retries > 0 they are retried with
-// exponential backoff (honoring the server's Retry-After hint) and the
-// exit status reflects only internal/invalid errors.
+// exponential backoff (honoring the server's Retry-After hint, capped
+// at the -timeout budget, jittered ±20%) and the exit status reflects
+// only internal/invalid errors. Against a sharded server,
+// -min-coverage accepts degraded (partial-shard-coverage) answers,
+// which are tallied separately rather than counted as errors.
 //
 // Usage:
 //
 //	m2mload [-duration 10s] [-clients 4] [-rows 5000] [-seed 1]
 //	        [-zipf 1.3] [-cache-bytes N] [-parallelism N] [-addr URL]
-//	        [-timeout 0] [-retries 0]
+//	        [-timeout 0] [-retries 0] [-min-coverage 0]
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -53,6 +53,8 @@ func main() {
 		"per-query deadline stamped on every request (0 = none)")
 	retries := flag.Int("retries", 0,
 		"retry budget per query for shed/timeout failures (exponential backoff)")
+	minCoverage := flag.Float64("min-coverage", 0,
+		"accept degraded results at or above this shard coverage (0 = require full)")
 	flag.Parse()
 
 	var (
@@ -70,10 +72,10 @@ func main() {
 		runner = svc
 		statsFn = func() (service.Stats, error) { return svc.Stats(), nil }
 	} else {
-		h := &httpRunner{base: strings.TrimRight(*addr, "/")}
-		templates, err = h.standardMix(*rows, *seed)
+		h := service.NewHTTPRunner(*addr)
+		templates, err = remoteStandardMix(h, *rows, *seed)
 		runner = h
-		statsFn = h.stats
+		statsFn = func() (service.Stats, error) { return h.Stats(context.Background()) }
 	}
 	if err != nil {
 		fatal(err)
@@ -89,6 +91,7 @@ func main() {
 		Seed:         *seed,
 		QueryTimeout: *queryTimeout,
 		MaxRetries:   *retries,
+		MinCoverage:  *minCoverage,
 	})
 	if err != nil {
 		fatal(err)
@@ -106,17 +109,11 @@ func main() {
 	}
 }
 
-// httpRunner adapts a remote m2mserve to service.Runner.
-type httpRunner struct {
-	base   string
-	client http.Client
-}
-
-// standardMix mirrors service.StandardMix over the HTTP API: register
-// the mixed-shape datasets remotely (tolerating already-registered
-// conflicts so repeated runs against one server work) and return the
-// same template list.
-func (h *httpRunner) standardMix(rows int, seed int64) ([]service.Request, error) {
+// remoteStandardMix mirrors service.StandardMix over the HTTP API:
+// register the mixed-shape datasets remotely (tolerating
+// already-registered conflicts so repeated runs against one server
+// work) and return the same template list.
+func remoteStandardMix(h *service.HTTPRunner, rows int, seed int64) ([]service.Request, error) {
 	// Build the same mix locally to learn dataset names and driver
 	// relation names, then mirror the registrations remotely.
 	local := service.New(service.Config{Parallelism: 1, MaxConcurrent: 1})
@@ -131,14 +128,12 @@ func (h *httpRunner) standardMix(rows int, seed int64) ([]service.Request, error
 			continue
 		}
 		seen[tpl.Dataset] = true
-		body := service.RegisterRequest{
+		_, status, err := h.Register(context.Background(), service.RegisterRequest{
 			Name:  tpl.Dataset,
 			Shape: strings.TrimPrefix(tpl.Dataset, "load_"),
 			Rows:  rows,
 			Seed:  seed + i,
-		}
-		var out service.DatasetInfo
-		status, err := h.post("/v1/datasets", body, &out)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -148,71 +143,6 @@ func (h *httpRunner) standardMix(rows int, seed int64) ([]service.Request, error
 		i++
 	}
 	return templates, nil
-}
-
-func (h *httpRunner) Query(ctx context.Context, req service.Request) (service.Result, error) {
-	b, err := json.Marshal(req)
-	if err != nil {
-		return service.Result{}, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/query", bytes.NewReader(b))
-	if err != nil {
-		return service.Result{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := h.client.Do(hreq)
-	if err != nil {
-		return service.Result{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		// The server answers failures with a classified error envelope;
-		// rebuild the typed error so retry classification (and the
-		// Retry-After hint) survive the wire.
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		var env service.ErrorEnvelope
-		if err := json.Unmarshal(body, &env); err == nil && env.Class != "" {
-			return service.Result{}, &service.QueryError{
-				Class:      env.Class,
-				RetryAfter: time.Duration(env.RetryAfterMillis) * time.Millisecond,
-				Err:        fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, env.Error),
-			}
-		}
-		return service.Result{}, fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, body)
-	}
-	var res service.Result
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return service.Result{}, err
-	}
-	return res, nil
-}
-
-func (h *httpRunner) stats() (service.Stats, error) {
-	resp, err := h.client.Get(h.base + "/v1/stats")
-	if err != nil {
-		return service.Stats{}, err
-	}
-	defer resp.Body.Close()
-	var st service.Stats
-	return st, json.NewDecoder(resp.Body).Decode(&st)
-}
-
-func (h *httpRunner) post(path string, body, out any) (int, error) {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := h.client.Post(h.base+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
-		}
-	}
-	return resp.StatusCode, nil
 }
 
 func fatal(err error) {

@@ -6,7 +6,19 @@
 //
 //	m2mserve [-addr 127.0.0.1:8080] [-cache-bytes N] [-parallelism N]
 //	         [-max-concurrent N] [-dataset name=dir]... [-preload]
-//	         [-drain-timeout 30s]
+//	         [-drain-timeout 30s] [-shards N] [-backends url,url,...]
+//	         [-shard-retries N] [-shard-timeout 2s] [-hedge-delay 0]
+//
+// With -shards > 1 the server answers each query by scatter-gather
+// over a hash partition of the dataset's driver relation, executing
+// shards locally; with -backends it dispatches the shards to replica
+// m2mserve processes instead (each must serve the same datasets —
+// content fingerprints are verified), retrying classified failures on
+// the next replica, hedging stragglers after -hedge-delay, and
+// tripping a per-(shard, backend) circuit breaker on persistent
+// faults. Clients opt into degraded answers with "minCoverage" on the
+// query; a plain m2mserve serves shard-worker requests without any
+// shard flags.
 //
 // On SIGTERM or SIGINT the server drains gracefully: new queries are
 // shed (503 + Retry-After), in-flight queries run to completion (up to
@@ -58,6 +70,16 @@ func main() {
 		"register the standard mixed-shape synthetic datasets at startup")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long a SIGTERM waits for in-flight queries before exiting")
+	shards := flag.Int("shards", 0,
+		"scatter queries over this many driver-relation hash partitions (0 = unsharded, or one per backend)")
+	backends := flag.String("backends", "",
+		"comma-separated replica m2mserve base URLs to dispatch shards to")
+	shardRetries := flag.Int("shard-retries", 0,
+		"classified retries per shard, rotated across replicas (0 = default 1, negative disables)")
+	shardTimeout := flag.Duration("shard-timeout", 0,
+		"per-shard attempt deadline (0 = default 2s, negative disables)")
+	hedgeDelay := flag.Duration("hedge-delay", 0,
+		"duplicate a straggling shard attempt on the next replica after this delay (0 = off)")
 	var datasets []string
 	flag.Func("dataset", "register a m2mdata directory as name=dir (repeatable)",
 		func(v string) error {
@@ -69,11 +91,30 @@ func main() {
 		})
 	flag.Parse()
 
+	var backendList []string
+	if *backends != "" {
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				backendList = append(backendList, b)
+			}
+		}
+	}
 	svc := service.New(service.Config{
 		CacheBytes:    *cacheBytes,
 		Parallelism:   *parallelism,
 		MaxConcurrent: *maxConcurrent,
+		Shard: service.ShardConfig{
+			Shards:         *shards,
+			Backends:       backendList,
+			Retries:        *shardRetries,
+			AttemptTimeout: *shardTimeout,
+			HedgeDelay:     *hedgeDelay,
+		},
 	})
+	if *shards > 1 || len(backendList) > 0 {
+		log.Printf("m2mserve: sharded tier: %d shards, %d backends %v",
+			max(*shards, len(backendList)), len(backendList), backendList)
+	}
 	for _, spec := range datasets {
 		name, dir, _ := strings.Cut(spec, "=")
 		ds, err := storage.LoadDataset(dir)

@@ -143,6 +143,10 @@ type ExecuteOptions struct {
 	// Selections are pushed-down equality predicates on the base
 	// relations.
 	Selections []exec.Selection
+	// DriverRowMap remaps emitted driver row indices to global
+	// coordinates when executing one shard of a partitioned dataset
+	// (see exec.Options.DriverRowMap).
+	DriverRowMap []int32
 	// CollectOutput receives output tuples (canonical NodeID layout);
 	// requires FlatOutput.
 	CollectOutput func(rows []int32)
@@ -160,6 +164,7 @@ func Execute(ds *storage.Dataset, choice PlanChoice, opts ExecuteOptions) (exec.
 		Ctx:           opts.Ctx,
 		Artifacts:     opts.Artifacts,
 		Selections:    opts.Selections,
+		DriverRowMap:  opts.DriverRowMap,
 		CollectOutput: opts.CollectOutput,
 	})
 }

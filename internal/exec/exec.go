@@ -112,6 +112,16 @@ type Options struct {
 	// strategies never consult the provider: their tables are built
 	// from per-query semi-join-reduced masks, which are not shareable.
 	Artifacts Artifacts
+	// DriverRowMap, when non-nil, remaps driver row indices at emission:
+	// an output tuple whose driver component is shard-local row i is
+	// emitted (checksum and CollectOutput alike) with DriverRowMap[i]
+	// instead. The scatter-gather layer sets it so every shard reports
+	// its tuples in the parent dataset's global row coordinates, which
+	// is what makes merged shard checksums bit-identical to unsharded
+	// execution. Must have one entry per driver row. Internal execution
+	// state (probes, masks, residual checks) is untouched — the remap
+	// happens after the residual check, on the emitted copy only.
+	DriverRowMap []int32
 	// CollectOutput, when set, receives every flat output tuple as the
 	// base-relation row indices in ascending NodeID order. The slice is
 	// freshly allocated per call and may be retained. Only valid with
@@ -151,6 +161,20 @@ type Stats struct {
 	// SemiJoinProbes is the number of phase-1 semi-join probes (SJ
 	// strategies).
 	SemiJoinProbes int64
+	// BuildSemiJoinProbes is the subset of SemiJoinProbes spent reducing
+	// the non-driver relations. Those reductions never touch the driver
+	// — the driver is nobody's child, so it is only ever the target of
+	// the final root reduction — which means they are a pure function of
+	// the shared build side and come out identical in every shard of a
+	// partitioned dataset. MergeShardStats uses this split to count the
+	// replicated build-side work once instead of once per shard;
+	// BuildTagHits / BuildTagMisses are the matching split of the tag
+	// counters. All three are zero for non-SJ strategies.
+	BuildSemiJoinProbes int64
+	// BuildTagHits — see BuildSemiJoinProbes.
+	BuildTagHits int64
+	// BuildTagMisses — see BuildSemiJoinProbes.
+	BuildTagMisses int64
 	// TagHits / TagMisses split every hash-table probe (HashProbes plus
 	// SemiJoinProbes) by the tagged directory's Bloom-tag filter: a
 	// TagMiss was answered by the directory word alone — the key's tag
@@ -186,6 +210,16 @@ type Stats struct {
 	// BytesCached snapshots the artifact provider's total cached bytes
 	// after the run (0 without a provider).
 	BytesCached int64
+	// Coverage is the fraction of driver rows the result accounts for,
+	// weighted by row count: always 1.0 for a direct Run, and for a
+	// full-coverage scatter-gather merge; a degraded merge (some shards
+	// failed but the caller accepted partial results) reports the
+	// surviving fraction in (0, 1).
+	Coverage float64
+	// FailedShards lists the shard indices excluded from a degraded
+	// scatter-gather merge, ascending. Nil for a direct Run and for a
+	// full-coverage merge.
+	FailedShards []int
 	// PerRelationProbes breaks HashProbes down by probed relation. This
 	// map view is built once at the end of a run from the executor's
 	// dense per-relation counters.
@@ -265,6 +299,12 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 			return Stats{}, fmt.Errorf("exec: %w", err)
 		}
 	}
+	if opts.DriverRowMap != nil {
+		if n := ds.Relation(plan.Root).NumRows(); len(opts.DriverRowMap) != n {
+			return Stats{}, fmt.Errorf("exec: DriverRowMap has %d entries for %d driver rows",
+				len(opts.DriverRowMap), n)
+		}
+	}
 
 	nrel := ds.Tree.Len()
 	r := &run{ds: ds, opts: opts, residuals: newResidualChecker(ds, opts.Residuals)}
@@ -319,6 +359,7 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 	for _, id := range ds.Tree.NonRoot() {
 		r.stats.PerRelationProbes[id] = r.perRel[id]
 	}
+	r.stats.Coverage = 1
 	return r.stats, nil
 }
 
@@ -809,6 +850,12 @@ func (w *worker) emitTuple(joinOrderRows []int32) bool {
 	}
 	if !r.residuals.ok(tmp) {
 		return false
+	}
+	// Position 0 of the canonical layout is the driver (plan.Root == 0);
+	// the remap runs after the residual check because residual columns
+	// index the local (possibly shard) relations.
+	if rm := r.opts.DriverRowMap; rm != nil {
+		tmp[0] = rm[tmp[0]]
 	}
 	w.checksum += checksumCanonical(tmp)
 	if r.opts.CollectOutput != nil {

@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"m2mjoin/internal/faultinject"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/shard"
+)
+
+// This file is the in-process scatter-gather layer over a partitioned
+// dataset (internal/shard): RunSharded executes the probe phase once
+// per shard and MergeShardStats folds the per-shard results into
+// counters bit-identical to unsharded execution.
+//
+// The merge invariant rests on three properties:
+//
+//   - Driver rows are partitioned: every phase-2 counter (probes,
+//     tuples, checksum contributions) is a pure function of the driver
+//     rows a worker processes, independent of chunk boundaries, so
+//     summing shards is the same as summing chunks.
+//   - Shards emit global row coordinates: Options.DriverRowMap remaps
+//     shard-local driver rows at emission, so the order-independent
+//     checksum sums to the unsharded value.
+//   - Build-side work is replicated, not partitioned: the non-root
+//     relations (and for SJ strategies their reductions) are identical
+//     in every shard. Phase-2 counters never count builds, and the SJ
+//     reduction counters carry a Build* split (identical across
+//     shards) that the merge counts exactly once.
+
+// MergeShardStats folds per-shard Stats from the same partition into
+// the totals unsharded execution would report. All phase-2 counters
+// and the checksum are additive over driver rows; the replicated SJ
+// build-side reductions (Stats.BuildSemiJoinProbes and the matching
+// tag splits) are identical in every shard and are counted once. Cache
+// counters are summed (each shard's artifact view has its own hits and
+// misses — there is no unsharded counterpart to preserve) and
+// BytesCached takes the largest snapshot. Coverage is 1 and
+// FailedShards nil: a degraded gather sets both after merging the
+// survivors.
+func MergeShardStats(parts []Stats) Stats {
+	var m Stats
+	m.Coverage = 1
+	if len(parts) == 0 {
+		return m
+	}
+	m.PerRelationProbes = make(map[plan.NodeID]int64, len(parts[0].PerRelationProbes))
+	for _, p := range parts {
+		m.HashProbes += p.HashProbes
+		m.FilterProbes += p.FilterProbes
+		m.SemiJoinProbes += p.SemiJoinProbes - p.BuildSemiJoinProbes
+		m.TagHits += p.TagHits - p.BuildTagHits
+		m.TagMisses += p.TagMisses - p.BuildTagMisses
+		m.OutputTuples += p.OutputTuples
+		m.ExpandedTuples += p.ExpandedTuples
+		m.IntermediateTuples += p.IntermediateTuples
+		m.FactorizedRows += p.FactorizedRows
+		m.CacheHits += p.CacheHits
+		m.CacheMisses += p.CacheMisses
+		if p.BytesCached > m.BytesCached {
+			m.BytesCached = p.BytesCached
+		}
+		m.Checksum += p.Checksum
+		for id, v := range p.PerRelationProbes {
+			m.PerRelationProbes[id] += v
+		}
+	}
+	m.SemiJoinProbes += parts[0].BuildSemiJoinProbes
+	m.TagHits += parts[0].BuildTagHits
+	m.TagMisses += parts[0].BuildTagMisses
+	m.BuildSemiJoinProbes = parts[0].BuildSemiJoinProbes
+	m.BuildTagHits = parts[0].BuildTagHits
+	m.BuildTagMisses = parts[0].BuildTagMisses
+	return m
+}
+
+// RunSharded executes the query over a partitioned dataset: one Run
+// per shard, concurrently, with Options.Parallelism split across the
+// shards, merged by MergeShardStats. opts.DriverRowMap is owned by
+// this layer (each shard runs under its own RowMap); everything else
+// applies to every shard unchanged. A shared opts.Artifacts provider
+// is handed to all shards — the build side is replicated, so the
+// shards request identical artifacts.
+//
+// RunSharded is all-or-nothing: the first shard failure cancels the
+// siblings and fails the call. Degraded (partial-coverage) gathering
+// is the serving tier's job, which dispatches shards individually.
+// The exec/shard-probe failpoint fires once per shard before its run.
+func RunSharded(shards []shard.Shard, opts Options) (Stats, error) {
+	if len(shards) == 0 {
+		return Stats{}, fmt.Errorf("exec: RunSharded with no shards")
+	}
+	if opts.Parallelism < 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	per := opts.Parallelism / len(shards)
+	if per < 1 {
+		per = 1
+	}
+
+	if collect := opts.CollectOutput; collect != nil {
+		// Each shard's Run serializes the callback only among its own
+		// workers; shards are separate runs, so serialize across them too.
+		var cmu sync.Mutex
+		opts.CollectOutput = func(rows []int32) {
+			cmu.Lock()
+			collect(rows)
+			cmu.Unlock()
+		}
+	}
+
+	base := opts.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	parts := make([]Stats, len(shards))
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The shard goroutine body runs outside Run's own panic
+			// boundary (the failpoint below can panic), so it carries the
+			// same recover guard the executor puts on every worker.
+			defer func() {
+				if v := recover(); v != nil {
+					fail(&PanicError{Site: "shard-probe", Value: v, Stack: debug.Stack()})
+				}
+			}()
+			if err := faultinject.Fire(faultinject.SiteShardProbe); err != nil {
+				fail(err)
+				return
+			}
+			o := opts
+			o.Parallelism = per
+			o.Ctx = ctx
+			o.DriverRowMap = shards[i].RowMap
+			st, err := Run(shards[i].DS, o)
+			if err != nil {
+				fail(fmt.Errorf("exec: shard %d/%d: %w", shards[i].Index, len(shards), err))
+				return
+			}
+			parts[i] = st
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
+	return MergeShardStats(parts), nil
+}

@@ -59,7 +59,12 @@ func (r *run) semiJoinPass() {
 					return
 				}
 				keyCol := rel.Column(r.ds.KeyColumn(c))
-				r.semiJoinReduce(r.tables[c], keyCol, mask)
+				// Reductions of non-root parents never read the driver:
+				// they are pure build-side work, replicated identically in
+				// every shard of a partitioned dataset, and their counters
+				// go into the Build* split so the scatter-gather merge can
+				// count them once (see Stats.BuildSemiJoinProbes).
+				r.semiJoinReduce(r.tables[c], keyCol, mask, p != plan.Root)
 			}
 		}
 		if p != plan.Root {
@@ -90,7 +95,7 @@ const minParallelReduceRows = 4 * 1024
 // owns disjoint mask words, so the reduction is race-free and the
 // resulting mask — and the probe count, which counts exactly the set
 // bits — is identical at any worker count.
-func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask *storage.Bitmap) {
+func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask *storage.Bitmap, buildSide bool) {
 	n := mask.Len()
 	p := r.opts.Parallelism
 	if p <= 1 || n < minParallelReduceRows {
@@ -98,7 +103,7 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 			r.fail(err)
 			return
 		}
-		r.addSemiJoinStats(table.ReduceLive(keyCol, mask, 0, n))
+		r.addSemiJoinStats(table.ReduceLive(keyCol, mask, 0, n), buildSide)
 		return
 	}
 	nWords := (n + 63) / 64
@@ -140,17 +145,24 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 		Probed:    int(probed.Load()),
 		TagHits:   int(tagHits.Load()),
 		TagMisses: int(tagMisses.Load()),
-	})
+	}, buildSide)
 }
 
 // addSemiJoinStats folds one reduction's probe stats into the run
 // totals: semi-join probes, plus their tag-filter split (the semi-join
 // probe is a hash-table probe, so it participates in TagHits/TagMisses
-// exactly like the phase-2 joins).
-func (r *run) addSemiJoinStats(st hashtable.ProbeStats) {
+// exactly like the phase-2 joins). buildSide reductions — every parent
+// except the root — additionally accumulate into the Build* split that
+// the scatter-gather merge de-duplicates across shards.
+func (r *run) addSemiJoinStats(st hashtable.ProbeStats, buildSide bool) {
 	r.stats.SemiJoinProbes += int64(st.Probed)
 	r.stats.TagHits += int64(st.TagHits)
 	r.stats.TagMisses += int64(st.TagMisses)
+	if buildSide {
+		r.stats.BuildSemiJoinProbes += int64(st.Probed)
+		r.stats.BuildTagHits += int64(st.TagHits)
+		r.stats.BuildTagMisses += int64(st.TagMisses)
+	}
 }
 
 // semiJoinOrder returns the order in which p's children are probed in

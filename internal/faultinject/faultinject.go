@@ -108,6 +108,18 @@ const (
 	// SiteAdmit fires at admission, before a query waits for a slot.
 	// ModeError rejects the query as shed load.
 	SiteAdmit = "service/admit"
+	// SiteShardProbe fires in the scatter-gather layer once per shard
+	// execution, before the shard's probe phase runs (both exec's
+	// in-process scatter and the serving tier's local shard attempts).
+	// ModeError/ModePanic fail that shard attempt; ModeDelay makes it a
+	// straggler (the hedging trigger).
+	SiteShardProbe = "exec/shard-probe"
+	// SiteShardDispatch fires in the serving tier's shard gather path,
+	// once per dispatched shard attempt (initial, retry and hedge alike,
+	// local or remote), before the attempt starts. ModeError/ModePanic
+	// fail the attempt — exercising classified retry, failover and
+	// degraded coverage — and ModeDelay stalls the dispatch.
+	SiteShardDispatch = "service/shard-dispatch"
 )
 
 // Sites lists every failpoint compiled into the tree, for catalogs
@@ -116,6 +128,7 @@ func Sites() []string {
 	return []string{
 		SiteProbeChunk, SiteBuildRelation, SiteReduceChunk,
 		SiteBuildMorsel, SiteCacheInsert, SiteAdmit,
+		SiteShardProbe, SiteShardDispatch,
 	}
 }
 

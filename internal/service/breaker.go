@@ -259,9 +259,18 @@ type BreakerInfo struct {
 	WindowFailures int64 `json:"windowFailures"`
 	// Opens counts lifetime closed→open transitions.
 	Opens int64 `json:"opens"`
+	// ProbesInFlight / ProbeSuccesses describe half-open probing: how
+	// many probe queries hold slots right now and how many have
+	// succeeded toward re-closing.
+	ProbesInFlight int `json:"probesInFlight,omitempty"`
+	ProbeSuccesses int `json:"probeSuccesses,omitempty"`
 }
 
-// snapshot reads the breaker state for reporting.
+// snapshot reads the breaker state for reporting. Every field —
+// including the ring advance that ages out stale buckets and the
+// half-open probe counters — is read under the window lock, so a
+// snapshot racing allow/done observes one consistent state, never a
+// half-advanced ring.
 func (b *breaker) snapshot(dataset string) BreakerInfo {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -273,5 +282,7 @@ func (b *breaker) snapshot(dataset string) BreakerInfo {
 		WindowOK:       ok,
 		WindowFailures: fail,
 		Opens:          b.opens,
+		ProbesInFlight: b.probeActive,
+		ProbeSuccesses: b.probeOK,
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -261,4 +262,62 @@ func TestBreakerDisabled(t *testing.T) {
 	if got := b.snapshot("ds").State; got != BreakerClosed {
 		t.Fatalf("disabled breaker left closed state: %v", got)
 	}
+}
+
+// TestBreakerSnapshotRace is the -race regression for the /v1/stats
+// snapshot path: snapshots racing allow/done across every state
+// transition must be data-race free and always observe a consistent
+// (state, window, probe-counter) tuple. Uses the real clock — a tiny
+// window keeps the ring advancing constantly under the hammering.
+func TestBreakerSnapshotRace(t *testing.T) {
+	b := newBreaker(BreakerConfig{
+		Window: 10 * time.Millisecond, Buckets: 2, MinSamples: 2,
+		FailureRatio: 0.5, Cooldown: time.Millisecond, HalfOpenProbes: 1,
+	}, time.Now)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := b.allow(); err == nil {
+					cls := Class("")
+					if (i+w)%3 == 0 {
+						cls = ClassInternal
+					}
+					b.done(cls, time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	deadline := time.After(100 * time.Millisecond)
+	for {
+		stop := false
+		select {
+		case <-deadline:
+			stop = true
+		default:
+		}
+		snap := b.snapshot("race")
+		if snap.WindowOK < 0 || snap.WindowFailures < 0 || snap.ProbesInFlight < 0 {
+			t.Fatalf("inconsistent snapshot: %+v", snap)
+		}
+		switch snap.State {
+		case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+		default:
+			t.Fatalf("snapshot saw impossible state %q", snap.State)
+		}
+		if stop {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
 }

@@ -75,6 +75,12 @@ func TestChaosFailpoints(t *testing.T) {
 		{"delay", faultinject.ModeDelay},
 	}
 	for _, site := range faultinject.Sites() {
+		if site == faultinject.SiteShardProbe || site == faultinject.SiteShardDispatch {
+			// The shard sites never fire on an unsharded service; the
+			// sharded chaos suite (shard_chaos_test.go) arms them against
+			// a scattering service with the same invariants.
+			continue
+		}
 		for _, m := range modes {
 			t.Run(fmt.Sprintf("%s/%s", site, m.name), func(t *testing.T) {
 				svc := newSvc()

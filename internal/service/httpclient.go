@@ -1,0 +1,134 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPRunner drives a remote m2mserve over its HTTP/JSON API. It
+// implements Runner, so the load generator and the sharded serving
+// tier's backend targets share one client: classified error envelopes
+// are decoded back into *QueryError, so failure classes — and the
+// Retry-After hint — survive the wire and retry/failover policy keys
+// on them exactly as it does in-process.
+type HTTPRunner struct {
+	base   string
+	client http.Client
+}
+
+// NewHTTPRunner returns a runner for the m2mserve at base (e.g.
+// "http://127.0.0.1:8080").
+func NewHTTPRunner(base string) *HTTPRunner {
+	return &HTTPRunner{base: strings.TrimRight(base, "/")}
+}
+
+// Base returns the server's base URL.
+func (h *HTTPRunner) Base() string { return h.base }
+
+// Query posts one query. Non-200 responses carrying the classified
+// error envelope come back as *QueryError; transport failures (server
+// unreachable, connection reset) come back unclassified — Classify
+// maps them to ClassInternal, which is what replica failover treats as
+// "this member is broken, try another".
+func (h *HTTPRunner) Query(ctx context.Context, req Request) (Result, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return Result{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/query", bytes.NewReader(b))
+	if err != nil {
+		return Result{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return Result{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The server answers failures with a classified error envelope;
+		// rebuild the typed error so retry classification (and the
+		// Retry-After hint) survive the wire.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var env ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err == nil && env.Class != "" {
+			return Result{}, &QueryError{
+				Class:      env.Class,
+				RetryAfter: time.Duration(env.RetryAfterMillis) * time.Millisecond,
+				Err:        fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, env.Error),
+			}
+		}
+		return Result{}, fmt.Errorf("query: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Stats fetches the server's /v1/stats snapshot.
+func (h *HTTPRunner) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	return st, h.get(ctx, "/v1/stats", &st)
+}
+
+// Datasets fetches the server's catalog. The sharded tier uses it to
+// verify a backend serves the same dataset content (by fingerprint)
+// before trusting its shard results.
+func (h *HTTPRunner) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	return out, h.get(ctx, "/v1/datasets", &out)
+}
+
+// Register posts a dataset registration and returns the HTTP status
+// alongside the result, so callers can tolerate 409 Conflict when the
+// dataset already exists (repeated runs against one server).
+func (h *HTTPRunner) Register(ctx context.Context, req RegisterRequest) (DatasetInfo, int, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return DatasetInfo{}, 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/datasets", bytes.NewReader(b))
+	if err != nil {
+		return DatasetInfo{}, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return DatasetInfo{}, 0, err
+	}
+	defer resp.Body.Close()
+	var info DatasetInfo
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return DatasetInfo{}, resp.StatusCode, err
+		}
+	}
+	return info, resp.StatusCode, nil
+}
+
+func (h *HTTPRunner) get(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: HTTP %d: %s", path, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+var _ Runner = (*HTTPRunner)(nil)

@@ -46,9 +46,14 @@ type LoadConfig struct {
 	MaxRetries int
 	// RetryBase / RetryMax shape the exponential backoff between
 	// retries (defaults 10ms / 1s). A server Retry-After hint overrides
-	// the computed backoff when it is longer.
+	// the computed backoff when it is longer, capped at QueryTimeout —
+	// a fresh attempt could not spend more than that anyway.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// MinCoverage, when positive, is stamped onto every request: on a
+	// sharded server, degraded results at or above this coverage count
+	// as successes (tallied in LoadReport.Degraded) instead of errors.
+	MinCoverage float64
 }
 
 // ErrorBreakdown counts one load run's failures by class. Only
@@ -102,6 +107,9 @@ type LoadReport struct {
 	// Retries but not to Errors.
 	ErrorsByClass ErrorBreakdown `json:"errorsByClass"`
 	Retries       int64          `json:"retries"`
+	// Degraded counts successful queries answered with partial shard
+	// coverage (Result.Coverage < 1 under LoadConfig.MinCoverage).
+	Degraded int64 `json:"degraded,omitempty"`
 	// CacheHits/CacheMisses sum the per-query artifact counters across
 	// all issued queries.
 	CacheHits   int64 `json:"cacheHits"`
@@ -172,6 +180,7 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 		errors               int64
 		breakdown            ErrorBreakdown
 		retries              int64
+		degraded             int64
 		hits, misses, tuples int64
 	}
 	aggs := make([]clientAgg, cfg.Clients)
@@ -189,6 +198,9 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 				if cfg.QueryTimeout > 0 {
 					req.TimeoutMillis = cfg.QueryTimeout.Milliseconds()
 				}
+				if cfg.MinCoverage > 0 {
+					req.MinCoverage = cfg.MinCoverage
+				}
 				t0 := time.Now()
 				res, err := queryWithRetry(runCtx, r, req, cfg, rng, &agg.retries)
 				if err != nil {
@@ -201,6 +213,9 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 					continue
 				}
 				agg.latencies = append(agg.latencies, time.Since(t0))
+				if res.Coverage > 0 && res.Coverage < 1 {
+					agg.degraded++
+				}
 				agg.hits += res.Stats.CacheHits
 				agg.misses += res.Stats.CacheMisses
 				agg.tuples += res.Stats.OutputTuples
@@ -217,6 +232,7 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 		report.Errors += aggs[i].errors
 		report.ErrorsByClass.add(aggs[i].breakdown)
 		report.Retries += aggs[i].retries
+		report.Degraded += aggs[i].degraded
 		report.CacheHits += aggs[i].hits
 		report.CacheMisses += aggs[i].misses
 		report.OutputTuples += aggs[i].tuples
@@ -243,8 +259,11 @@ func RunLoad(ctx context.Context, r Runner, cfg LoadConfig) (LoadReport, error) 
 // queryWithRetry issues one query, retrying retryable failures (shed,
 // timeout) up to cfg.MaxRetries times with exponential backoff. The
 // server's Retry-After hint, when present and longer than the computed
-// backoff, wins; backoff is jittered ±25% so retries from concurrent
-// clients decorrelate. Non-retryable failures and run-deadline expiry
+// backoff, wins — but is capped at the per-query timeout budget, since
+// an overloaded server's hint can exceed what any fresh attempt would
+// be allowed to spend. Backoff is jittered ±20% so retries from
+// concurrent clients decorrelate instead of stampeding a recovering
+// server in lockstep. Non-retryable failures and run-deadline expiry
 // return immediately.
 func queryWithRetry(ctx context.Context, r Runner, req Request, cfg LoadConfig, rng *rand.Rand, retries *int64) (Result, error) {
 	var res Result
@@ -258,10 +277,15 @@ func queryWithRetry(ctx context.Context, r Runner, req Request, cfg LoadConfig, 
 		}
 		wait := backoff
 		if hint := RetryAfterHint(err); hint > wait {
-			wait = hint
+			if cfg.QueryTimeout > 0 && hint > cfg.QueryTimeout {
+				hint = cfg.QueryTimeout
+			}
+			if hint > wait {
+				wait = hint
+			}
 		}
-		// Jitter ±25%.
-		wait += time.Duration((rng.Float64() - 0.5) * 0.5 * float64(wait))
+		// Jitter ±20%.
+		wait += time.Duration((rng.Float64() - 0.5) * 0.4 * float64(wait))
 		select {
 		case <-ctx.Done():
 			return res, err
@@ -282,12 +306,12 @@ func (r LoadReport) String() string {
 	}
 	b := r.ErrorsByClass
 	return fmt.Sprintf(
-		"queries=%d errors=%d retries=%d elapsed=%v qps=%.1f\n"+
+		"queries=%d errors=%d retries=%d degraded=%d elapsed=%v qps=%.1f\n"+
 			"errors by class: timeout=%d shed=%d canceled=%d invalid=%d internal=%d\n"+
 			"latency p50=%v p95=%v p99=%v max=%v\n"+
 			"artifact cache: hits=%d misses=%d hit-rate=%.1f%%\n"+
 			"output tuples: %d",
-		r.Queries, r.Errors, r.Retries, r.Duration.Round(time.Millisecond), r.QPS,
+		r.Queries, r.Errors, r.Retries, r.Degraded, r.Duration.Round(time.Millisecond), r.QPS,
 		b.Timeout, b.Shed, b.Canceled, b.Invalid, b.Internal,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),

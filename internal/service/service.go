@@ -39,6 +39,7 @@ import (
 	"m2mjoin/internal/cost"
 	"m2mjoin/internal/exec"
 	"m2mjoin/internal/plan"
+	"m2mjoin/internal/shard"
 	"m2mjoin/internal/storage"
 	"m2mjoin/internal/workload"
 )
@@ -67,6 +68,11 @@ type Config struct {
 	// Breaker tunes the per-dataset load-shedding circuit breaker
 	// (see BreakerConfig; the zero value enables it with defaults).
 	Breaker BreakerConfig
+	// Shard configures the fault-tolerant scatter-gather tier: hash
+	// partitioning, replica backends, per-attempt deadlines, classified
+	// retry and hedged dispatch (see ShardConfig; the zero value leaves
+	// the service unsharded).
+	Shard ShardConfig
 }
 
 // DefaultAdmitTimeout bounds admission queueing when
@@ -87,7 +93,14 @@ type Service struct {
 	mu       sync.RWMutex
 	datasets map[string]*datasetEntry
 
+	// targets is the shard replica set: the local process, or one HTTP
+	// target per configured backend. Immutable after New.
+	targets []shardTarget
+
 	queries atomic.Int64
+	// Sharded-tier counters (see ShardingStats).
+	scatterQueries, degraded, shardRetries atomic.Int64
+	hedges, hedgeWins, hedgeCancels        atomic.Int64
 	// draining flips when a drain starts: new queries are shed, the
 	// in-flight ones finish.
 	draining atomic.Bool
@@ -143,6 +156,11 @@ type datasetEntry struct {
 	// breaker is this dataset's load-shedding circuit breaker.
 	breaker *breaker
 
+	// shardSets memoizes hash partitions by shard count, with their
+	// per-(shard, target) breakers (see shard.go).
+	shardMu   sync.Mutex
+	shardSets map[int]*shardSet
+
 	planMu sync.Mutex
 	plans  map[planKey]core.PlanChoice
 }
@@ -178,10 +196,12 @@ func New(cfg Config) *Service {
 	case cfg.AdmitTimeout < 0:
 		cfg.AdmitTimeout = 0 // unbounded
 	}
+	cfg.Shard = normalizeShardConfig(cfg.Shard)
 	return &Service{
 		cfg:      cfg,
 		cache:    newArtifactCache(cfg.CacheBytes),
 		admit:    newAdmission(cfg.Parallelism, cfg.MaxConcurrent, cfg.MaxQueued, cfg.AdmitTimeout),
+		targets:  newShardTargets(cfg.Shard),
 		datasets: make(map[string]*datasetEntry),
 		now:      time.Now,
 	}
@@ -336,6 +356,20 @@ type Request struct {
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 	// Selections are pushed-down equality predicates.
 	Selections []SelectionSpec `json:"selections,omitempty"`
+	// ShardCount, when positive, makes this a shard-worker request: the
+	// query executes only shard ShardIndex of the dataset's ShardCount-
+	// way hash partition, reporting results in global driver
+	// coordinates. This is how a sharded frontend dispatches work to
+	// replica backends; any server can act as a shard worker without
+	// shard configuration of its own.
+	ShardCount int `json:"shardCount,omitempty"`
+	ShardIndex int `json:"shardIndex,omitempty"`
+	// MinCoverage, on a sharded service, accepts a degraded result when
+	// shards fail: if the row-weighted fraction of the driver relation
+	// served is at least MinCoverage, the survivors' merge is returned
+	// with Stats.Coverage < 1 and Stats.FailedShards naming the gaps.
+	// 0 (the default) requires full coverage.
+	MinCoverage float64 `json:"minCoverage,omitempty"`
 }
 
 // Result is one query's outcome.
@@ -350,6 +384,15 @@ type Result struct {
 	Elapsed time.Duration `json:"elapsedNs"`
 	// Queued is the time spent waiting for admission.
 	Queued time.Duration `json:"queuedNs"`
+	// Shards is the number of partitions the query scattered over
+	// (0 when it executed unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Coverage is the row-weighted fraction of the driver relation the
+	// result covers: 1 for a complete answer, less when failed shards
+	// were tolerated under Request.MinCoverage.
+	Coverage float64 `json:"coverage"`
+	// FailedShards names the shards missing from a degraded result.
+	FailedShards []int `json:"failedShards,omitempty"`
 	// Stats are the executor counters, including CacheHits /
 	// CacheMisses / BytesCached for the artifact cache.
 	Stats exec.Stats `json:"stats"`
@@ -396,6 +439,15 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	if err != nil {
 		return Result{}, invalidErr(err)
 	}
+	if req.MinCoverage < 0 || req.MinCoverage > 1 {
+		return Result{}, invalidErr(fmt.Errorf("minCoverage %v outside [0, 1]", req.MinCoverage))
+	}
+	if req.ShardCount < 0 || req.ShardCount > shard.MaxShards {
+		return Result{}, invalidErr(fmt.Errorf("shardCount %d outside [0, %d]", req.ShardCount, shard.MaxShards))
+	}
+	if req.ShardCount > 0 && (req.ShardIndex < 0 || req.ShardIndex >= req.ShardCount) {
+		return Result{}, invalidErr(fmt.Errorf("shardIndex %d outside [0, %d)", req.ShardIndex, req.ShardCount))
+	}
 	// Plan before admission: the first plan per (strategy, flat) pair
 	// measures edge statistics and runs the optimizer search, which
 	// uses no executor workers — holding an admission slot through it
@@ -438,6 +490,30 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	if req.Parallelism > 0 && req.Parallelism < workers {
 		workers = req.Parallelism
 	}
+	s.queries.Add(1)
+
+	// A sharded service answers client queries by scatter-gather (one
+	// dispatch per shard out of this query's single admission slot);
+	// shard-worker requests (ShardCount > 0) fall through and execute
+	// their one shard locally like any other query.
+	if req.ShardCount == 0 && s.sharded() {
+		return s.queryScatter(ctx, e, req, choice, sels, workers, queued)
+	}
+
+	// Shard-worker role: swap in the requested shard's dataset, its
+	// global row map and its own artifact-cache fingerprint; everything
+	// downstream (planning already happened on the full dataset, so
+	// every worker of a scatter runs the same plan) is unchanged.
+	execDS, fp := e.ds, e.fp
+	var rowMap []int32
+	if req.ShardCount > 1 {
+		set, serr := e.shardSetFor(s, req.ShardCount)
+		if serr != nil {
+			return Result{}, invalidErr(serr)
+		}
+		sh := set.shards[req.ShardIndex]
+		execDS, fp, rowMap = sh.DS, set.fps[req.ShardIndex], sh.RowMap
+	}
 
 	// The SJ strategies build their tables from per-query semi-join-
 	// reduced masks — never shareable — so they bypass the cache
@@ -445,18 +521,18 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	// their CacheHits/CacheMisses at zero rather than misleading).
 	var arts exec.Artifacts
 	if choice.Strategy != cost.SJSTD && choice.Strategy != cost.SJCOM {
-		arts = s.artifactsFor(e, sels)
+		arts = s.artifactsFor(fp, e, sels)
 	}
 
-	s.queries.Add(1)
 	start := time.Now()
-	stats, err := core.Execute(e.ds, choice, core.ExecuteOptions{
-		FlatOutput:  req.FlatOutput,
-		ChunkSize:   req.ChunkSize,
-		Parallelism: workers,
-		Ctx:         ctx,
-		Artifacts:   arts,
-		Selections:  sels,
+	stats, err := core.Execute(execDS, choice, core.ExecuteOptions{
+		FlatOutput:   req.FlatOutput,
+		ChunkSize:    req.ChunkSize,
+		Parallelism:  workers,
+		Ctx:          ctx,
+		Artifacts:    arts,
+		Selections:   sels,
+		DriverRowMap: rowMap,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -469,6 +545,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 		Workers:  workers,
 		Elapsed:  elapsed,
 		Queued:   queued,
+		Coverage: stats.Coverage,
 		Stats:    stats,
 	}, nil
 }
@@ -540,11 +617,13 @@ func (e *datasetEntry) plan(strategy string, flat bool) (core.PlanChoice, error)
 	return choice, nil
 }
 
-// artifactsFor builds the per-query cache view: the dataset
-// fingerprint plus one selection fingerprint per relation, hashed over
+// artifactsFor builds the per-query cache view: the executing
+// dataset's fingerprint (the shard's own when executing one shard, so
+// per-shard phase-1 artifacts share the cache without colliding across
+// shard counts) plus one selection fingerprint per relation, hashed over
 // the relation's own (column, value) predicates in canonical order so
 // equivalent selection sets share artifacts.
-func (s *Service) artifactsFor(e *datasetEntry, sels []exec.Selection) exec.Artifacts {
+func (s *Service) artifactsFor(fp uint64, e *datasetEntry, sels []exec.Selection) exec.Artifacts {
 	maskFPs := make([]uint64, e.ds.Tree.Len())
 	if len(sels) > 0 {
 		perRel := make(map[plan.NodeID][]exec.Selection)
@@ -568,7 +647,7 @@ func (s *Service) artifactsFor(e *datasetEntry, sels []exec.Selection) exec.Arti
 	}
 	return &queryArtifacts{
 		cache:   s.cache,
-		dataset: e.fp,
+		dataset: fp,
 		keyCols: e.keyCols,
 		maskFPs: maskFPs,
 	}
@@ -589,6 +668,8 @@ type Stats struct {
 	// Breakers snapshots every dataset's circuit breaker, in name
 	// order.
 	Breakers []BreakerInfo `json:"breakers,omitempty"`
+	// Sharding reports the scatter-gather tier (nil when unsharded).
+	Sharding *ShardingStats `json:"sharding,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -616,6 +697,7 @@ func (s *Service) Stats() Stats {
 			Internal: s.errCounts.internal.Load(),
 		},
 		Breakers: breakers,
+		Sharding: s.shardingStats(),
 	}
 }
 

@@ -1,0 +1,664 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"m2mjoin/internal/core"
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/faultinject"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/shard"
+)
+
+// This file is the serving tier's fault-tolerant scatter-gather path.
+// A sharded service hash-partitions each dataset's driver relation
+// (internal/shard) and answers every query by dispatching one probe
+// task per shard — to itself (local targets) or to replica backends
+// over HTTP — then merging the per-shard Stats bit-identically to
+// unsharded execution (exec.MergeShardStats).
+//
+// The gather path is where the robustness lives:
+//
+//   - every dispatch attempt runs under ShardConfig.AttemptTimeout;
+//   - failed attempts are retried by failure class, each retry rotated
+//     to the next replica (shardRetryable: timeouts, sheds and internal
+//     faults fail over; invalid and client-canceled do not);
+//   - a straggling attempt is hedged after ShardConfig.HedgeDelay: a
+//     duplicate dispatch races it on the next replica, the first
+//     success wins and the loser is canceled (its ClassCanceled
+//     outcome is ignored by the breakers, so hedging cannot trip them);
+//   - each (shard, target) pair has its own circuit breaker, so one
+//     dead replica is fast-rejected per shard while the others serve;
+//   - when shards still fail, Request.MinCoverage admits a degraded
+//     result: the survivors are merged, Stats.Coverage reports the
+//     row-weighted fraction served and Stats.FailedShards names the
+//     missing shards. With MinCoverage unset the query fails with the
+//     most severe shard error.
+
+// DefaultShardAttemptTimeout bounds one shard dispatch attempt when
+// ShardConfig.AttemptTimeout is zero.
+const DefaultShardAttemptTimeout = 2 * time.Second
+
+// ShardConfig configures the sharded serving tier. The zero value
+// leaves the service unsharded.
+type ShardConfig struct {
+	// Shards is the number of hash partitions of each dataset's driver
+	// relation. 0 defaults to 1 (unsharded) — or to len(Backends) when
+	// backends are configured.
+	Shards int
+	// Backends are base URLs of replica m2mserve processes; when set,
+	// shard attempts are dispatched over HTTP instead of executing
+	// locally, and retries/hedges rotate across them. Every backend
+	// must serve the same datasets (verified by content fingerprint
+	// before its first shard result is trusted).
+	Backends []string
+	// AttemptTimeout bounds one shard dispatch attempt (default 2s,
+	// negative disables; the query's own deadline still applies).
+	AttemptTimeout time.Duration
+	// Retries is how many classified retries one shard gets after its
+	// first attempt, each rotated to the next replica (default 1,
+	// negative disables retries).
+	Retries int
+	// HedgeDelay, when positive, dispatches a duplicate attempt on the
+	// next replica if one is still unanswered after the delay. First
+	// success wins; the loser is canceled cooperatively.
+	HedgeDelay time.Duration
+}
+
+// normalizeShardConfig applies the documented defaults.
+func normalizeShardConfig(cfg ShardConfig) ShardConfig {
+	if cfg.Shards <= 0 {
+		if len(cfg.Backends) > 0 {
+			cfg.Shards = len(cfg.Backends)
+		} else {
+			cfg.Shards = 1
+		}
+	}
+	if cfg.Shards > shard.MaxShards {
+		cfg.Shards = shard.MaxShards
+	}
+	switch {
+	case cfg.AttemptTimeout == 0:
+		cfg.AttemptTimeout = DefaultShardAttemptTimeout
+	case cfg.AttemptTimeout < 0:
+		cfg.AttemptTimeout = 0 // unbounded
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 1
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	return cfg
+}
+
+// sharded reports whether queries take the scatter-gather path.
+func (s *Service) sharded() bool {
+	return s.cfg.Shard.Shards > 1 || len(s.cfg.Shard.Backends) > 0
+}
+
+// newShardTargets builds the replica set: the local process, or one
+// HTTP target per configured backend.
+func newShardTargets(cfg ShardConfig) []shardTarget {
+	if len(cfg.Backends) == 0 {
+		return []shardTarget{localTarget{}}
+	}
+	targets := make([]shardTarget, len(cfg.Backends))
+	for i, base := range cfg.Backends {
+		targets[i] = newHTTPTarget(base)
+	}
+	return targets
+}
+
+// shardSet is one dataset's partition at a given shard count, built
+// lazily and memoized on the entry: the shard datasets, their content
+// fingerprints (keying per-shard phase-1 artifacts in the shared
+// cache), and one circuit breaker per (shard, target) pair.
+type shardSet struct {
+	shards    []shard.Shard
+	fps       []uint64
+	totalRows int
+	// breakers[k][t] guards dispatches of shard k to target t.
+	breakers [][]*breaker
+}
+
+// shardSetFor returns the entry's memoized partition at n shards,
+// building it on first use.
+func (e *datasetEntry) shardSetFor(s *Service, n int) (*shardSet, error) {
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	if set, ok := e.shardSets[n]; ok {
+		return set, nil
+	}
+	shards, err := shard.Partition(e.ds, n)
+	if err != nil {
+		return nil, err
+	}
+	set := &shardSet{
+		shards:    shards,
+		fps:       make([]uint64, n),
+		totalRows: e.ds.Relation(plan.Root).NumRows(),
+		breakers:  make([][]*breaker, n),
+	}
+	for k := range shards {
+		if n == 1 {
+			set.fps[k] = e.fp // Partition returned the original dataset
+		} else {
+			set.fps[k] = shards[k].DS.Fingerprint()
+		}
+		set.breakers[k] = make([]*breaker, len(s.targets))
+		for t := range s.targets {
+			set.breakers[k][t] = newBreaker(s.cfg.Breaker, s.now)
+		}
+	}
+	if e.shardSets == nil {
+		e.shardSets = make(map[int]*shardSet)
+	}
+	e.shardSets[n] = set
+	return set, nil
+}
+
+// shardCall carries one shard's dispatch context through retry and
+// hedging.
+type shardCall struct {
+	e       *datasetEntry
+	set     *shardSet
+	k       int // shard index
+	req     Request
+	choice  core.PlanChoice
+	sels    []exec.Selection
+	workers int // per-shard worker budget
+}
+
+// shardTarget is one member that can execute a shard probe: the local
+// process or a replica backend.
+type shardTarget interface {
+	// name labels the target in breaker snapshots and errors.
+	name() string
+	// run executes one shard attempt; errors should carry a Class
+	// (Classify maps the rest to ClassInternal).
+	run(ctx context.Context, s *Service, c shardCall) (exec.Stats, error)
+}
+
+// localTarget executes a shard in-process against the entry's
+// partitioned dataset, reusing the shared artifact cache under the
+// shard's own fingerprint.
+type localTarget struct{}
+
+func (localTarget) name() string { return "local" }
+
+func (localTarget) run(ctx context.Context, s *Service, c shardCall) (exec.Stats, error) {
+	if err := faultinject.Fire(faultinject.SiteShardProbe); err != nil {
+		return exec.Stats{}, &QueryError{Class: ClassInternal, Err: err}
+	}
+	sh := c.set.shards[c.k]
+	var arts exec.Artifacts
+	if c.choice.Strategy != cost.SJSTD && c.choice.Strategy != cost.SJCOM {
+		arts = s.artifactsFor(c.set.fps[c.k], c.e, c.sels)
+	}
+	st, err := core.Execute(sh.DS, c.choice, core.ExecuteOptions{
+		FlatOutput:   c.req.FlatOutput,
+		ChunkSize:    c.req.ChunkSize,
+		Parallelism:  c.workers,
+		Ctx:          ctx,
+		Artifacts:    arts,
+		Selections:   c.sels,
+		DriverRowMap: sh.RowMap,
+	})
+	if err != nil {
+		return exec.Stats{}, classifyExecError(err)
+	}
+	return st, nil
+}
+
+// httpTarget dispatches shard attempts to a replica backend as
+// shard-worker requests (Request.ShardCount/ShardIndex), pinning the
+// frontend's plan choice so every replica executes the same strategy.
+// Before trusting the first result per dataset it verifies the backend
+// serves the same content, by fingerprint; the verdict is memoized.
+type httpTarget struct {
+	runner *HTTPRunner
+
+	mu       sync.Mutex
+	verified map[string]error // dataset name -> nil (match) or mismatch
+}
+
+func newHTTPTarget(base string) *httpTarget {
+	return &httpTarget{
+		runner:   NewHTTPRunner(base),
+		verified: make(map[string]error),
+	}
+}
+
+func (t *httpTarget) name() string { return t.runner.Base() }
+
+func (t *httpTarget) run(ctx context.Context, s *Service, c shardCall) (exec.Stats, error) {
+	if err := t.verify(ctx, c.e); err != nil {
+		return exec.Stats{}, &QueryError{Class: ClassInternal,
+			Err: fmt.Errorf("backend %s: %w", t.runner.Base(), err)}
+	}
+	req := Request{
+		Dataset:     c.req.Dataset,
+		Strategy:    c.choice.Strategy.String(),
+		FlatOutput:  c.req.FlatOutput,
+		Parallelism: c.workers,
+		ChunkSize:   c.req.ChunkSize,
+		Selections:  c.req.Selections,
+		ShardCount:  len(c.set.shards),
+		ShardIndex:  c.k,
+	}
+	// Ship the remaining attempt budget so the backend sheds or times
+	// out on its own rather than serving an answer nobody is waiting on.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMillis = ms
+	}
+	res, err := t.runner.Query(ctx, req)
+	if err != nil {
+		if IsQueryError(err) {
+			return exec.Stats{}, err
+		}
+		// Transport failure: classify by our own context first (the
+		// attempt deadline or a hedge cancellation aborts the HTTP call
+		// too), anything else means the replica is unreachable.
+		qe := classifyExecError(ctx.Err())
+		if ctx.Err() == nil {
+			qe = &QueryError{Class: ClassInternal, Err: err}
+		}
+		qe.Err = fmt.Errorf("backend %s: %w", t.runner.Base(), err)
+		return exec.Stats{}, qe
+	}
+	return res.Stats, nil
+}
+
+// verify checks (once per dataset) that the backend serves a dataset
+// of the same name with the same content fingerprint. Transport
+// failures are not memoized — the backend may simply be down and come
+// back; a fingerprint mismatch is, since content will not fix itself.
+func (t *httpTarget) verify(ctx context.Context, e *datasetEntry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if verdict, ok := t.verified[e.name]; ok {
+		return verdict
+	}
+	infos, err := t.runner.Datasets(ctx)
+	if err != nil {
+		return fmt.Errorf("catalog fetch: %w", err)
+	}
+	verdict := fmt.Errorf("does not serve dataset %q", e.name)
+	for _, info := range infos {
+		if info.Name != e.name {
+			continue
+		}
+		if info.Fingerprint == e.fp {
+			verdict = nil
+		} else {
+			verdict = fmt.Errorf("dataset %q fingerprint mismatch: backend %#x, local %#x",
+				e.name, info.Fingerprint, e.fp)
+		}
+		break
+	}
+	t.verified[e.name] = verdict
+	return verdict
+}
+
+// IsQueryError reports whether err carries a *QueryError anywhere in
+// its chain (i.e. already has a failure class).
+func IsQueryError(err error) bool {
+	var qe *QueryError
+	return errors.As(err, &qe)
+}
+
+// shardRetryable decides whether a failed shard attempt is worth
+// another replica. Timeouts and sheds are transient by definition;
+// internal failures fail over too — unlike the client-side Retryable,
+// which has nowhere else to go, the gather path's whole purpose is
+// routing around a broken member. Invalid requests are deterministic
+// and client cancellations mean nobody is waiting.
+func shardRetryable(c Class) bool {
+	return c == ClassShed || c == ClassTimeout || c == ClassInternal
+}
+
+// classSeverity ranks failure classes for picking the representative
+// error of a failed scatter: config problems first (they will never
+// heal), then hard faults, then transient overload.
+func classSeverity(c Class) int {
+	switch c {
+	case ClassInvalid:
+		return 5
+	case ClassInternal:
+		return 4
+	case ClassTimeout:
+		return 3
+	case ClassShed:
+		return 2
+	case ClassCanceled:
+		return 1
+	}
+	return 0
+}
+
+// queryScatter answers one client query on a sharded service: it fans
+// one dispatch per shard out of the query's single admission slot,
+// gathers with retry/hedging/breakers per shard, and merges. Runs
+// inside Query's admission slot, dataset breaker and deadline.
+func (s *Service) queryScatter(ctx context.Context, e *datasetEntry, req Request,
+	choice core.PlanChoice, sels []exec.Selection, workers int, queued time.Duration) (Result, error) {
+	set, err := e.shardSetFor(s, s.cfg.Shard.Shards)
+	if err != nil {
+		return Result{}, invalidErr(err)
+	}
+	n := len(set.shards)
+	s.scatterQueries.Add(1)
+	per := workers / n
+	if per < 1 {
+		per = 1
+	}
+
+	// Without a degraded-coverage budget any shard failure dooms the
+	// query, so the first definitive failure cancels the siblings; with
+	// MinCoverage set, every shard runs to its own verdict because the
+	// survivors are the product.
+	sctx := ctx
+	var scancel context.CancelFunc
+	if req.MinCoverage <= 0 {
+		sctx, scancel = context.WithCancel(ctx)
+		defer scancel()
+	}
+
+	start := time.Now()
+	parts := make([]exec.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			parts[k], errs[k] = s.runShard(sctx, shardCall{
+				e: e, set: set, k: k,
+				req: req, choice: choice, sels: sels, workers: per,
+			})
+			if errs[k] != nil && scancel != nil {
+				scancel()
+			}
+		}(k)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var failed []int
+	survivors := parts[:0:0]
+	coveredRows := 0
+	for k := range errs {
+		if errs[k] != nil {
+			failed = append(failed, k)
+			continue
+		}
+		survivors = append(survivors, parts[k])
+		coveredRows += set.shards[k].DriverRows()
+	}
+	if len(failed) == 0 {
+		merged := exec.MergeShardStats(parts)
+		return s.scatterResult(req, choice, workers, elapsed, queued, n, merged), nil
+	}
+
+	coverage := float64(len(survivors)) / float64(n)
+	if set.totalRows > 0 {
+		coverage = float64(coveredRows) / float64(set.totalRows)
+	}
+	if req.MinCoverage > 0 && len(survivors) > 0 && coverage >= req.MinCoverage {
+		merged := exec.MergeShardStats(survivors)
+		merged.Coverage = coverage
+		merged.FailedShards = failed
+		s.degraded.Add(1)
+		return s.scatterResult(req, choice, workers, elapsed, queued, n, merged), nil
+	}
+
+	// Surface the most severe shard failure as the query's verdict.
+	worstK := failed[0]
+	for _, k := range failed[1:] {
+		if classSeverity(Classify(errs[k])) > classSeverity(Classify(errs[worstK])) {
+			worstK = k
+		}
+	}
+	worst := errs[worstK]
+	return Result{Elapsed: elapsed}, &QueryError{
+		Class:      Classify(worst),
+		RetryAfter: RetryAfterHint(worst),
+		Err: fmt.Errorf("scatter: %d/%d shards failed (coverage %.3f): shard %d: %w",
+			len(failed), n, coverage, worstK, worst),
+	}
+}
+
+// scatterResult assembles the client-facing Result of a (possibly
+// degraded) scatter.
+func (s *Service) scatterResult(req Request, choice core.PlanChoice, workers int,
+	elapsed, queued time.Duration, n int, merged exec.Stats) Result {
+	return Result{
+		Dataset:      req.Dataset,
+		Strategy:     choice.Strategy.String(),
+		Order:        choice.Order.String(),
+		Workers:      workers,
+		Elapsed:      elapsed,
+		Queued:       queued,
+		Shards:       n,
+		Coverage:     merged.Coverage,
+		FailedShards: merged.FailedShards,
+		Stats:        merged,
+	}
+}
+
+// runShard drives one shard to a verdict: up to 1+Retries attempts,
+// each rotated to the next replica — attempt a for shard k goes to
+// target (k+a) mod len(targets), so shards spread over replicas and
+// retries walk away from a broken one — with hedged duplicate
+// dispatch inside each attempt.
+func (s *Service) runShard(ctx context.Context, c shardCall) (exec.Stats, error) {
+	maxAttempts := 1 + s.cfg.Shard.Retries
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return exec.Stats{}, lastErr
+			}
+			return exec.Stats{}, classifyExecError(err)
+		}
+		primary := (c.k + attempt) % len(s.targets)
+		st, err := s.attemptShard(ctx, c, primary)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if !shardRetryable(Classify(err)) {
+			return exec.Stats{}, err
+		}
+		if attempt+1 < maxAttempts {
+			s.shardRetries.Add(1)
+		}
+	}
+	return exec.Stats{}, lastErr
+}
+
+// attemptShard makes one (possibly hedged) dispatch of shard c.k to
+// the primary target. When HedgeDelay passes without a verdict, a
+// duplicate dispatch races on the next replica; the first success
+// cancels the other dispatch cooperatively, and the loser's
+// ClassCanceled outcome is ignored by its breaker (see breaker.done),
+// so hedging never double-counts work or poisons breaker windows.
+func (s *Service) attemptShard(ctx context.Context, c shardCall, primary int) (exec.Stats, error) {
+	type outcome struct {
+		st    exec.Stats
+		err   error
+		hedge bool
+	}
+	// Buffered to the dispatch maximum (primary + one hedge): a loser
+	// finishing after we returned must never block on the send.
+	ch := make(chan outcome, 2)
+	var cmu sync.Mutex
+	var cancels []context.CancelFunc
+	cancelAll := func() {
+		cmu.Lock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+		cmu.Unlock()
+	}
+	defer cancelAll()
+
+	dispatch := func(t int, hedge bool) {
+		brk := c.set.breakers[c.k][t]
+		if err := brk.allow(); err != nil {
+			ch <- outcome{err: err, hedge: hedge}
+			return
+		}
+		var actx context.Context
+		var cancel context.CancelFunc
+		if s.cfg.Shard.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.cfg.Shard.AttemptTimeout)
+		} else {
+			actx, cancel = context.WithCancel(ctx)
+		}
+		cmu.Lock()
+		cancels = append(cancels, cancel)
+		cmu.Unlock()
+		go func() {
+			started := s.now()
+			var st exec.Stats
+			var err error
+			defer func() {
+				if v := recover(); v != nil {
+					err = &QueryError{Class: ClassInternal,
+						Err: fmt.Errorf("shard %d dispatch to %s panicked: %v", c.k, s.targets[t].name(), v)}
+				}
+				brk.done(Classify(err), s.now().Sub(started))
+				ch <- outcome{st: st, err: err, hedge: hedge}
+			}()
+			if ferr := faultinject.Fire(faultinject.SiteShardDispatch); ferr != nil {
+				err = &QueryError{Class: ClassInternal, Err: ferr}
+				return
+			}
+			st, err = s.targets[t].run(actx, s, c)
+		}()
+	}
+
+	dispatch(primary, false)
+	dispatched, received := 1, 0
+
+	var hedgeC <-chan time.Time
+	if s.cfg.Shard.HedgeDelay > 0 {
+		timer := time.NewTimer(s.cfg.Shard.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var lastErr error
+	for received < dispatched {
+		select {
+		case o := <-ch:
+			received++
+			if o.err == nil {
+				if o.hedge {
+					s.hedgeWins.Add(1)
+				}
+				if received < dispatched {
+					// The duplicate is still in flight: cancel it and count
+					// the cooperative cancellation.
+					s.hedgeCancels.Add(1)
+					cancelAll()
+				}
+				return o.st, nil
+			}
+			// Keep the more meaningful error: a loser's cancellation is
+			// collateral, not the attempt's verdict.
+			if lastErr == nil || Classify(lastErr) == ClassCanceled {
+				lastErr = o.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			s.hedges.Add(1)
+			dispatch((primary+1)%len(s.targets), true)
+			dispatched++
+		case <-ctx.Done():
+			cancelAll()
+			if lastErr != nil {
+				return exec.Stats{}, lastErr
+			}
+			return exec.Stats{}, classifyExecError(ctx.Err())
+		}
+	}
+	return exec.Stats{}, lastErr
+}
+
+// ShardingStats is the sharded tier's Stats section.
+type ShardingStats struct {
+	// Shards and Backends echo the configuration.
+	Shards   int      `json:"shards"`
+	Backends []string `json:"backends,omitempty"`
+	// ScatterQueries counts queries answered via scatter-gather.
+	ScatterQueries int64 `json:"scatterQueries"`
+	// Degraded counts scatter queries answered with Coverage < 1.
+	Degraded int64 `json:"degraded"`
+	// Retries counts shard attempts re-dispatched after a classified
+	// retryable failure.
+	Retries int64 `json:"retries"`
+	// Hedges / HedgeWins / HedgeCancels count duplicate dispatches
+	// launched for stragglers, those that won, and losing duplicates
+	// canceled after the race was decided.
+	Hedges       int64 `json:"hedges"`
+	HedgeWins    int64 `json:"hedgeWins"`
+	HedgeCancels int64 `json:"hedgeCancels"`
+	// ShardBreakers snapshots every (shard, target) breaker that has
+	// seen traffic or left the closed state, labeled
+	// "<dataset>/shard<k>@<target>".
+	ShardBreakers []BreakerInfo `json:"shardBreakers,omitempty"`
+}
+
+// shardingStats snapshots the sharded tier (nil when unsharded).
+func (s *Service) shardingStats() *ShardingStats {
+	if !s.sharded() {
+		return nil
+	}
+	ss := &ShardingStats{
+		Shards:         s.cfg.Shard.Shards,
+		Backends:       append([]string(nil), s.cfg.Shard.Backends...),
+		ScatterQueries: s.scatterQueries.Load(),
+		Degraded:       s.degraded.Load(),
+		Retries:        s.shardRetries.Load(),
+		Hedges:         s.hedges.Load(),
+		HedgeWins:      s.hedgeWins.Load(),
+		HedgeCancels:   s.hedgeCancels.Load(),
+	}
+	s.mu.RLock()
+	entries := make([]*datasetEntry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		e.shardMu.Lock()
+		for _, set := range e.shardSets {
+			for k, row := range set.breakers {
+				for t, b := range row {
+					info := b.snapshot(fmt.Sprintf("%s/shard%d@%s", e.name, k, s.targets[t].name()))
+					if info.State != BreakerClosed || info.WindowOK+info.WindowFailures > 0 || info.Opens > 0 {
+						ss.ShardBreakers = append(ss.ShardBreakers, info)
+					}
+				}
+			}
+		}
+		e.shardMu.Unlock()
+	}
+	sort.Slice(ss.ShardBreakers, func(i, j int) bool {
+		return ss.ShardBreakers[i].Dataset < ss.ShardBreakers[j].Dataset
+	})
+	return ss
+}

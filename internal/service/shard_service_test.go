@@ -1,0 +1,339 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/faultinject"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/shard"
+)
+
+// TestShardedServiceBitIdentity: a sharded service must answer every
+// strategy bit-identically (modulo cache counters) to an unsharded
+// service over the same dataset, at full coverage.
+func TestShardedServiceBitIdentity(t *testing.T) {
+	ds := genDataset(t, 2000, 21)
+	plain := New(Config{Parallelism: 4, MaxConcurrent: 2})
+	sharded := New(Config{Parallelism: 4, MaxConcurrent: 2, Shard: ShardConfig{Shards: 3}})
+	for _, s := range []*Service{plain, sharded} {
+		if _, err := s.RegisterDataset("ds", ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for _, strat := range chaosStrategies {
+		base, err := plain.Query(ctx, chaosRequest(strat))
+		if err != nil {
+			t.Fatalf("%s baseline: %v", strat, err)
+		}
+		if base.Stats.OutputTuples == 0 || base.Stats.Checksum == 0 {
+			t.Fatalf("%s: degenerate baseline", strat)
+		}
+		res, err := sharded.Query(ctx, chaosRequest(strat))
+		if err != nil {
+			t.Fatalf("%s sharded: %v", strat, err)
+		}
+		if res.Shards != 3 || res.Coverage != 1 || res.FailedShards != nil {
+			t.Fatalf("%s: want full-coverage 3-shard result, got shards=%d coverage=%v failed=%v",
+				strat, res.Shards, res.Coverage, res.FailedShards)
+		}
+		if got, want := stripCache(res.Stats), stripCache(base.Stats); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: sharded result diverges:\n got %+v\nwant %+v", strat, got, want)
+		}
+	}
+	st := sharded.Stats()
+	if st.Sharding == nil || st.Sharding.Shards != 3 ||
+		st.Sharding.ScatterQueries != int64(len(chaosStrategies)) {
+		t.Fatalf("sharding stats wrong: %+v", st.Sharding)
+	}
+	if plain.Stats().Sharding != nil {
+		t.Fatal("unsharded service must not report sharding stats")
+	}
+}
+
+// TestShardWorkerRole: any plain service executes shard-worker
+// requests (ShardCount/ShardIndex), and manually merging all workers'
+// results reproduces the unsharded answer bit-identically — the
+// distributed form of the exec-layer merge matrix.
+func TestShardWorkerRole(t *testing.T) {
+	ds := genDataset(t, 1500, 22)
+	svc := New(Config{Parallelism: 2, MaxConcurrent: 2})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base, err := svc.Query(ctx, chaosRequest("BVP+COM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	parts := make([]exec.Stats, n)
+	for k := 0; k < n; k++ {
+		req := chaosRequest("BVP+COM")
+		req.ShardCount, req.ShardIndex = n, k
+		res, err := svc.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("shard %d: %v", k, err)
+		}
+		parts[k] = res.Stats
+	}
+	got, want := stripCache(exec.MergeShardStats(parts)), stripCache(base.Stats)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("worker merge diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardRequestValidation: malformed shard parameters are rejected
+// as ClassInvalid before any work happens.
+func TestShardRequestValidation(t *testing.T) {
+	ds := genDataset(t, 200, 23)
+	svc := New(Config{Parallelism: 1, MaxConcurrent: 1})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Request{
+		{Dataset: "ds", ShardCount: -1},
+		{Dataset: "ds", ShardCount: shard.MaxShards + 1},
+		{Dataset: "ds", ShardCount: 2, ShardIndex: 2},
+		{Dataset: "ds", ShardCount: 2, ShardIndex: -1},
+		{Dataset: "ds", MinCoverage: -0.1},
+		{Dataset: "ds", MinCoverage: 1.5},
+	}
+	for i, req := range bad {
+		_, err := svc.Query(context.Background(), req)
+		if Classify(err) != ClassInvalid {
+			t.Errorf("bad request %d: got %v (class %v), want invalid", i, err, Classify(err))
+		}
+	}
+}
+
+// TestShardedServiceRemoteBackends: a frontend scattering over two
+// replica backends (each holding the full dataset, serving
+// shard-worker requests over HTTP) must be bit-identical to unsharded
+// execution, and the backends must actually have served the shards.
+func TestShardedServiceRemoteBackends(t *testing.T) {
+	ds := genDataset(t, 1800, 24)
+	newBackend := func() (*Service, *httptest.Server) {
+		s := New(Config{Parallelism: 2, MaxConcurrent: 4})
+		if _, err := s.RegisterDataset("ds", ds); err != nil {
+			t.Fatal(err)
+		}
+		return s, httptest.NewServer(NewHandler(s))
+	}
+	b1, srv1 := newBackend()
+	b2, srv2 := newBackend()
+	defer srv1.Close()
+	defer srv2.Close()
+
+	front := New(Config{Parallelism: 2, MaxConcurrent: 4, Shard: ShardConfig{
+		Shards:   4,
+		Backends: []string{srv1.URL, srv2.URL},
+	}})
+	if _, err := front.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	plain := New(Config{Parallelism: 2, MaxConcurrent: 4})
+	if _, err := plain.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, strat := range []string{"COM", "SJ+COM"} {
+		base, err := plain.Query(ctx, chaosRequest(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := front.Query(ctx, chaosRequest(strat))
+		if err != nil {
+			t.Fatalf("%s via backends: %v", strat, err)
+		}
+		if res.Coverage != 1 || res.Shards != 4 {
+			t.Fatalf("%s: want full coverage over 4 shards, got %+v", strat, res)
+		}
+		if got, want := stripCache(res.Stats), stripCache(base.Stats); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: remote scatter diverges:\n got %+v\nwant %+v", strat, got, want)
+		}
+	}
+	if q1, q2 := b1.Stats().Queries, b2.Stats().Queries; q1 == 0 || q2 == 0 {
+		t.Fatalf("scatter did not reach both backends: %d / %d shard queries", q1, q2)
+	}
+}
+
+// TestShardedFailoverToHealthyReplica: with one dead backend, the
+// classified retry rotates every shard to the surviving replica and
+// queries still complete at full coverage, bit-identically.
+func TestShardedFailoverToHealthyReplica(t *testing.T) {
+	ds := genDataset(t, 1200, 25)
+	alive := New(Config{Parallelism: 2, MaxConcurrent: 4})
+	if _, err := alive.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(alive))
+	defer srv.Close()
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	front := New(Config{Parallelism: 2, MaxConcurrent: 4, Shard: ShardConfig{
+		Shards:   2,
+		Backends: []string{deadURL, srv.URL},
+		Retries:  1,
+	}})
+	if _, err := front.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	plain := New(Config{Parallelism: 2, MaxConcurrent: 4})
+	if _, err := plain.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base, err := plain.Query(ctx, chaosRequest("COM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := front.Query(ctx, chaosRequest("COM"))
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("failover should reach full coverage, got %v", res.Coverage)
+	}
+	if got, want := stripCache(res.Stats), stripCache(base.Stats); !reflect.DeepEqual(got, want) {
+		t.Fatalf("failover result diverges:\n got %+v\nwant %+v", got, want)
+	}
+	if st := front.Stats(); st.Sharding.Retries == 0 {
+		t.Fatal("failover must have recorded shard retries")
+	}
+}
+
+// TestShardedDegradedCoverage: with a dead replica and retries
+// disabled, shards pinned to it fail; MinCoverage admits the
+// survivors' merge with row-weighted Coverage and the failed-shard
+// set, and the degraded stats equal the surviving shard's solo
+// (shard-worker) baseline. Without MinCoverage the same query fails.
+func TestShardedDegradedCoverage(t *testing.T) {
+	ds := genDataset(t, 1000, 26)
+	alive := New(Config{Parallelism: 2, MaxConcurrent: 4})
+	if _, err := alive.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(alive))
+	defer srv.Close()
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	// Shard k's only attempt goes to target k: shard 0 dies with the
+	// dead backend, shard 1 survives on the live one.
+	front := New(Config{Parallelism: 2, MaxConcurrent: 4, Shard: ShardConfig{
+		Shards:   2,
+		Backends: []string{deadURL, srv.URL},
+		Retries:  -1, // disabled: no failover, shard 0 must fail
+	}})
+	if _, err := front.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Full-coverage demand: the query fails with a classified error.
+	if _, err := front.Query(ctx, chaosRequest("COM")); err == nil {
+		t.Fatal("full-coverage query over a dead shard must fail")
+	} else if cls := Classify(err); cls != ClassInternal {
+		t.Fatalf("dead-backend failure class = %v, want internal", cls)
+	}
+
+	// Degraded demand: survivors are merged and labeled.
+	req := chaosRequest("COM")
+	req.MinCoverage = 0.25
+	res, err := front.Query(ctx, req)
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	shards, err := shard.Partition(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCov := float64(shards[1].DriverRows()) / float64(ds.Relation(plan.Root).NumRows())
+	if res.Coverage != wantCov || res.Stats.Coverage != wantCov {
+		t.Fatalf("coverage = %v / %v, want %v", res.Coverage, res.Stats.Coverage, wantCov)
+	}
+	if !reflect.DeepEqual(res.FailedShards, []int{0}) || !reflect.DeepEqual(res.Stats.FailedShards, []int{0}) {
+		t.Fatalf("failed shards = %v, want [0]", res.FailedShards)
+	}
+
+	// The degraded merge must equal the surviving shard's own solo run.
+	solo := chaosRequest("COM")
+	solo.ShardCount, solo.ShardIndex = 2, 1
+	soloRes, err := alive.Query(ctx, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exec.MergeShardStats([]exec.Stats{soloRes.Stats})
+	got := stripCache(res.Stats)
+	got.Coverage, got.FailedShards = 1, nil
+	if !reflect.DeepEqual(got, stripCache(want)) {
+		t.Fatalf("degraded merge is not the survivors' merge:\n got %+v\nwant %+v", got, stripCache(want))
+	}
+	if st := front.Stats(); st.Sharding.Degraded != 1 {
+		t.Fatalf("degraded counter = %d, want 1", st.Sharding.Degraded)
+	}
+}
+
+// TestShardedHedgeCancellation: a straggling shard dispatch (delay
+// failpoint) is hedged after HedgeDelay; the duplicate wins, the
+// straggler is canceled cooperatively, and the result stays
+// bit-identical to the fault-free baseline — proving hedging neither
+// double-counts nor corrupts the merge.
+func TestShardedHedgeCancellation(t *testing.T) {
+	ds := genDataset(t, 1200, 27)
+	newSvc := func(hedge time.Duration) *Service {
+		s := New(Config{Parallelism: 4, MaxConcurrent: 2,
+			Breaker: BreakerConfig{Disabled: true},
+			Shard:   ShardConfig{Shards: 2, HedgeDelay: hedge}})
+		if _, err := s.RegisterDataset("ds", ds); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ctx := context.Background()
+	base, err := newSvc(0).Query(ctx, chaosRequest("COM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := newSvc(2 * time.Millisecond)
+	// Every second dispatch stalls 300ms — far past the hedge delay, so
+	// the duplicate dispatch (usually un-delayed) wins the race.
+	faultinject.Enable(faultinject.Spec{
+		Site: faultinject.SiteShardProbe, Mode: faultinject.ModeDelay,
+		Every: 2, Delay: 300 * time.Millisecond,
+	})
+	defer faultinject.Disable()
+	for i := 0; i < 4; i++ {
+		res, err := svc.Query(ctx, chaosRequest("COM"))
+		if err != nil {
+			t.Fatalf("hedged query %d: %v", i, err)
+		}
+		if res.Coverage != 1 {
+			t.Fatalf("hedged query %d degraded: %v", i, res.Coverage)
+		}
+		if got, want := stripCache(res.Stats), stripCache(base.Stats); !reflect.DeepEqual(got, want) {
+			t.Fatalf("hedged query %d diverges:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	faultinject.Disable()
+	st := svc.Stats().Sharding
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("hedging never engaged: %+v", st)
+	}
+	if st.HedgeCancels == 0 {
+		t.Fatalf("no straggler was canceled after losing the race: %+v", st)
+	}
+	if s := svc.Stats(); s.Active != 0 || s.Queued != 0 {
+		t.Fatalf("leaked admission state: %+v", s)
+	}
+}

@@ -1,0 +1,125 @@
+// Package shard implements deterministic hash partitioning of a
+// storage.Dataset into N shard datasets for partition-parallel and
+// distributed execution.
+//
+// The partitioning scheme splits the driver (root) relation: shard k
+// receives every driver row whose deterministic hash assigns it to k,
+// while the non-root (build-side) relations are shared by reference —
+// every shard needs the full build side, and the relations are
+// immutable, so replication is free in-process. Each shard is a
+// complete, self-contained storage.Dataset over the same join tree: it
+// validates, plans and executes exactly like the original, and it has
+// its own content Fingerprint() (the driver rows differ), so per-shard
+// phase-1 artifacts key into the serving layer's LRU cache with no new
+// machinery.
+//
+// Every shard carries a RowMap from shard-local driver row indices
+// back to the original (global) indices. The executor applies it at
+// emission (exec.Options.DriverRowMap), so a shard's output tuples —
+// and therefore its order-independent checksum — are expressed in
+// global row coordinates. That is what makes the scatter-gather merge
+// (exec.MergeShardStats) bit-identical to unsharded execution: each
+// driver row is owned by exactly one shard, every counter is additive
+// over driver rows, and the checksum is an order-independent sum.
+//
+// Assignment is a pure function of (row index, shard count) — see
+// Assign — so independent processes that hold the same dataset agree
+// on the partition without exchanging data. That property is what lets
+// a serving frontend scatter shard requests to backend processes that
+// partition their own copy on demand.
+package shard
+
+import (
+	"fmt"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// MaxShards bounds the shard count accepted by Partition: a sanity
+// limit far above any useful fan-out (shards beyond the driver
+// cardinality are empty), protecting the serving tier from absurd
+// remote requests.
+const MaxShards = 1024
+
+// Shard is one partition of a dataset.
+type Shard struct {
+	// Index is this shard's position in [0, Count).
+	Index int
+	// Count is the total number of shards in the partition.
+	Count int
+	// DS is the shard dataset: the driver relation restricted to this
+	// shard's rows, the non-root relations shared by reference with the
+	// parent dataset, and the same join tree.
+	DS *storage.Dataset
+	// RowMap maps shard-local driver row indices to the original
+	// dataset's driver row indices, in ascending order. Nil for the
+	// trivial 1-shard partition (identity).
+	RowMap []int32
+}
+
+// DriverRows returns the number of driver rows owned by the shard.
+func (s Shard) DriverRows() int { return s.DS.Relation(plan.Root).NumRows() }
+
+// Assign returns the shard owning driver row `row` in an n-way
+// partition: a splitmix64 draw over the row index, reduced mod n. It
+// is a pure function — every process computes the same assignment —
+// and the mixer spreads consecutive rows across shards, so hot
+// contiguous ranges do not land on one shard.
+func Assign(row, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(row) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Partition splits ds into n shard datasets. n == 1 returns the
+// original dataset as a single trivial shard (no copying, nil RowMap).
+// Shards may be empty when n exceeds the driver cardinality; empty
+// shards execute trivially and contribute zero to every merged
+// counter.
+func Partition(ds *storage.Dataset, n int) ([]Shard, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("shard: nil dataset")
+	}
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of [1, %d]", n, MaxShards)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: invalid dataset: %w", err)
+	}
+	if n == 1 {
+		return []Shard{{Index: 0, Count: 1, DS: ds}}, nil
+	}
+
+	driver := ds.Relation(plan.Root)
+	rows := driver.NumRows()
+	// One pass assigns rows; the per-shard row maps double as the
+	// gather lists for the columnar scatter below.
+	rowMaps := make([][]int32, n)
+	for s := range rowMaps {
+		rowMaps[s] = make([]int32, 0, rows/n+1)
+	}
+	for row := 0; row < rows; row++ {
+		s := Assign(row, n)
+		rowMaps[s] = append(rowMaps[s], int32(row))
+	}
+
+	colNames := driver.ColumnNames()
+	shards := make([]Shard, n)
+	for s := 0; s < n; s++ {
+		rel := storage.NewRelation(driver.Name(), colNames...)
+		rel.GatherRows(driver, rowMaps[s])
+		sds := storage.NewDataset(ds.Tree)
+		sds.SetRelation(plan.Root, rel, "")
+		for _, id := range ds.Tree.NonRoot() {
+			sds.SetRelation(id, ds.Relation(id), ds.KeyColumn(id))
+		}
+		shards[s] = Shard{Index: s, Count: n, DS: sds, RowMap: rowMaps[s]}
+	}
+	return shards, nil
+}

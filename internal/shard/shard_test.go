@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+	"m2mjoin/internal/workload"
+)
+
+func testDataset(t *testing.T, rows int, seed int64) *storage.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tree := plan.Snowflake(3, 2, plan.UniformStats(rng, 0.2, 0.6, 1, 5))
+	ds := workload.Generate(tree, workload.Config{DriverRows: rows, Seed: seed})
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAssignDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 64} {
+		counts := make([]int, n)
+		for row := 0; row < 10000; row++ {
+			s := Assign(row, n)
+			if s < 0 || s >= n {
+				t.Fatalf("Assign(%d, %d) = %d out of range", row, n, s)
+			}
+			if s != Assign(row, n) {
+				t.Fatalf("Assign(%d, %d) not deterministic", row, n)
+			}
+			counts[s]++
+		}
+		// The mixer should spread rows roughly evenly: no shard may be
+		// empty or hold more than twice its fair share at 10k rows.
+		for s, c := range counts {
+			if c == 0 || c > 2*10000/n {
+				t.Fatalf("n=%d: shard %d holds %d of 10000 rows", n, s, c)
+			}
+		}
+	}
+}
+
+func TestPartitionCoversEveryRowExactlyOnce(t *testing.T) {
+	ds := testDataset(t, 1777, 3)
+	driver := ds.Relation(plan.Root)
+	for _, n := range []int{2, 3, 4, 8} {
+		shards, err := Partition(ds, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != n {
+			t.Fatalf("got %d shards, want %d", len(shards), n)
+		}
+		seen := make([]bool, driver.NumRows())
+		for k, sh := range shards {
+			if sh.Index != k || sh.Count != n {
+				t.Fatalf("shard %d mislabeled: %d/%d", k, sh.Index, sh.Count)
+			}
+			if err := sh.DS.Validate(); err != nil {
+				t.Fatalf("shard %d invalid: %v", k, err)
+			}
+			if got := sh.DriverRows(); got != len(sh.RowMap) {
+				t.Fatalf("shard %d: %d driver rows but %d RowMap entries", k, got, len(sh.RowMap))
+			}
+			prev := int32(-1)
+			for local, global := range sh.RowMap {
+				if global <= prev {
+					t.Fatalf("shard %d RowMap not ascending at %d", k, local)
+				}
+				prev = global
+				if seen[global] {
+					t.Fatalf("driver row %d assigned twice", global)
+				}
+				seen[global] = true
+				if Assign(int(global), n) != k {
+					t.Fatalf("row %d in shard %d but Assign says %d", global, k, Assign(int(global), n))
+				}
+				// The shard driver must hold exactly the global row's values.
+				for c := 0; c < driver.NumCols(); c++ {
+					if sh.DS.Relation(plan.Root).ColumnAt(c)[local] != driver.ColumnAt(c)[global] {
+						t.Fatalf("shard %d row %d column %d diverges from global row %d",
+							k, local, c, global)
+					}
+				}
+			}
+		}
+		for row, ok := range seen {
+			if !ok {
+				t.Fatalf("driver row %d unassigned", row)
+			}
+		}
+	}
+}
+
+func TestPartitionSharesNonRootRelations(t *testing.T) {
+	ds := testDataset(t, 500, 5)
+	shards, err := Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ds.Tree.NonRoot() {
+		for k, sh := range shards {
+			if sh.DS.Relation(id) != ds.Relation(id) {
+				t.Fatalf("shard %d copied non-root relation %d instead of sharing it", k, id)
+			}
+			if sh.DS.KeyColumn(id) != ds.KeyColumn(id) {
+				t.Fatalf("shard %d lost key column of relation %d", k, id)
+			}
+		}
+	}
+}
+
+func TestPartitionFingerprintsDistinct(t *testing.T) {
+	ds := testDataset(t, 800, 9)
+	shards, err := Partition(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := map[uint64]int{ds.Fingerprint(): -1}
+	for k, sh := range shards {
+		fp := sh.DS.Fingerprint()
+		if other, dup := fps[fp]; dup {
+			t.Fatalf("shard %d shares fingerprint %#x with %d", k, fp, other)
+		}
+		fps[fp] = k
+		// Determinism: a second partition of the same dataset must
+		// fingerprint identically shard for shard.
+		again, err := Partition(ds, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again[k].DS.Fingerprint() != fp {
+			t.Fatalf("shard %d fingerprint not deterministic", k)
+		}
+	}
+}
+
+func TestPartitionTrivialAndEdgeCases(t *testing.T) {
+	ds := testDataset(t, 300, 1)
+	one, err := Partition(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0].DS != ds || one[0].RowMap != nil {
+		t.Fatal("1-shard partition must return the original dataset with a nil RowMap")
+	}
+	if _, err := Partition(ds, 0); err == nil {
+		t.Fatal("want error for 0 shards")
+	}
+	if _, err := Partition(ds, MaxShards+1); err == nil {
+		t.Fatal("want error above MaxShards")
+	}
+	if _, err := Partition(nil, 2); err == nil {
+		t.Fatal("want error for nil dataset")
+	}
+	// More shards than driver rows: some shards are empty but valid.
+	tiny := testDataset(t, 3, 2)
+	shards, err := Partition(tiny, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range shards {
+		if err := sh.DS.Validate(); err != nil {
+			t.Fatalf("empty-ish shard invalid: %v", err)
+		}
+		total += sh.DriverRows()
+	}
+	if total != 3 {
+		t.Fatalf("shards hold %d rows, want 3", total)
+	}
+}

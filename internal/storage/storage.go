@@ -95,6 +95,25 @@ func (r *Relation) AppendRow(values ...int64) {
 	}
 }
 
+// GatherRows appends the listed rows of src to r, column by column.
+// Both relations must have the same column layout; the caller
+// guarantees the row indices are in range. This is the scatter
+// primitive behind dataset sharding.
+func (r *Relation) GatherRows(src *Relation, rows []int32) {
+	if len(r.cols) != len(src.cols) {
+		panic(fmt.Sprintf("storage: GatherRows across layouts (%d vs %d columns)",
+			len(r.cols), len(src.cols)))
+	}
+	r.Grow(len(rows))
+	for c := range r.cols {
+		dst, from := r.cols[c], src.cols[c]
+		for _, row := range rows {
+			dst = append(dst, from[row])
+		}
+		r.cols[c] = dst
+	}
+}
+
 // Grow reserves capacity for n additional rows.
 func (r *Relation) Grow(n int) {
 	for i := range r.cols {

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Record a benchmark snapshot for the execution strategies, at
-# parallelism 1 and at the full worker sweep, into a JSON file (one
-# object per benchmark, plus environment metadata). Perf PRs record a
-# new snapshot (e.g. BENCH_pr2.json) and compare it against the
-# committed trajectory (BENCH_baseline.json, BENCH_pr2.json, ...).
+# parallelism 1, at the full worker sweep, and across the shard-count
+# sweep (1/2/4 shards of the scatter-gather layer), into a JSON file
+# (one object per benchmark, plus environment metadata). Perf PRs
+# record a new snapshot (e.g. BENCH_pr2.json) and compare it against
+# the committed trajectory (BENCH_baseline.json, BENCH_pr2.json, ...).
 #
 # Usage: scripts/bench.sh [-count N] [-o outfile] [benchtime]
 #        scripts/bench.sh -compare old.json new.json
@@ -70,7 +71,7 @@ echo "running strategy benchmarks (benchtime=$benchtime, count=$count)..." >&2
 # Capture to a file rather than piping through tee: plain sh has no
 # pipefail, and a panicking benchmark must fail the script (CI smokes
 # this path).
-if ! go test -bench='BenchmarkStrategies($|Parallel)' -benchtime="$benchtime" \
+if ! go test -bench='BenchmarkStrategies($|Parallel|Sharded)' -benchtime="$benchtime" \
     -benchmem -run='^$' -count="$count" . > "$raw" 2>&1; then
     cat "$raw" >&2
     echo "benchmarks failed" >&2
