@@ -18,11 +18,19 @@
 // -min-coverage accepts degraded (partial-shard-coverage) answers,
 // which are tallied separately rather than counted as errors.
 //
+// With -mutate-qps > 0 a background writer interleaves mutation
+// batches (appends plus occasional deletes of its own appends) against
+// the mix's datasets at that rate, so every commit forces the artifact
+// cache onto a new version's keys; the reported cache hit rate is then
+// the warm-hit-rate-under-writes, a direct read on how well
+// commit-time incremental repair keeps the cache warm across version
+// churn.
+//
 // Usage:
 //
 //	m2mload [-duration 10s] [-clients 4] [-rows 5000] [-seed 1]
 //	        [-zipf 1.3] [-cache-bytes N] [-parallelism N] [-addr URL]
-//	        [-timeout 0] [-retries 0] [-min-coverage 0]
+//	        [-timeout 0] [-retries 0] [-min-coverage 0] [-mutate-qps 0]
 package main
 
 import (
@@ -55,6 +63,8 @@ func main() {
 		"retry budget per query for shed/timeout failures (exponential backoff)")
 	minCoverage := flag.Float64("min-coverage", 0,
 		"accept degraded results at or above this shard coverage (0 = require full)")
+	mutateQPS := flag.Float64("mutate-qps", 0,
+		"background write rate; measures cache hit rate under version churn (0 = reads only)")
 	flag.Parse()
 
 	var (
@@ -80,18 +90,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var targets []service.MutateTarget
+	if *mutateQPS > 0 {
+		if targets, err = mixMutateTargets(*seed); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("m2mload: %d clients, %d templates, zipf s=%.2f, %v\n",
 		*clients, len(templates), *zipfS, *duration)
 	report, err := service.RunLoad(context.Background(), runner, service.LoadConfig{
-		Duration:     *duration,
-		Clients:      *clients,
-		Templates:    templates,
-		ZipfS:        *zipfS,
-		Seed:         *seed,
-		QueryTimeout: *queryTimeout,
-		MaxRetries:   *retries,
-		MinCoverage:  *minCoverage,
+		Duration:      *duration,
+		Clients:       *clients,
+		Templates:     templates,
+		ZipfS:         *zipfS,
+		Seed:          *seed,
+		QueryTimeout:  *queryTimeout,
+		MaxRetries:    *retries,
+		MinCoverage:   *minCoverage,
+		MutateQPS:     *mutateQPS,
+		MutateTargets: targets,
 	})
 	if err != nil {
 		fatal(err)
@@ -143,6 +161,23 @@ func remoteStandardMix(h *service.HTTPRunner, rows int, seed int64) ([]service.R
 		i++
 	}
 	return templates, nil
+}
+
+// mixMutateTargets derives background-writer targets for every dataset
+// StandardMix registers. The shapes fix each relation's arity through
+// workload.Generate's column conventions, so this works identically
+// in-process and against a remote server — no data access needed.
+func mixMutateTargets(seed int64) ([]service.MutateTarget, error) {
+	shapes := []string{"snowflake32", "star", "path"}
+	var out []service.MutateTarget
+	for i, shape := range shapes {
+		tree, err := service.BuildTree(shape, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, service.MutateTargetsFor("load_"+shape, tree)...)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -35,6 +35,12 @@
 //	                    {"name","shape","rows","seed"} to generate
 //	POST /v1/query      {"dataset","strategy","flat","parallelism",
 //	                    "selections":[{"relation","column","value"}]}
+//	POST /v1/mutate     {"dataset","ops":[{"op":"append","relation",
+//	                    "values"},{"op":"delete","relation","row"}]} —
+//	                    commits the batch as the dataset's next
+//	                    snapshot; running queries keep their admitted
+//	                    version, cached artifacts are repaired onto the
+//	                    new version's keys before it is published
 //	GET  /v1/stats      service + artifact-cache counters
 package main
 
@@ -171,8 +177,8 @@ func main() {
 	}
 
 	st := svc.Stats()
-	log.Printf("m2mserve: final stats: queries=%d active=%d queued=%d errors={timeout=%d shed=%d canceled=%d invalid=%d internal=%d} cache{hits=%d misses=%d entries=%d bytes=%d evictions=%d}",
-		st.Queries, st.Active, st.Queued,
+	log.Printf("m2mserve: final stats: queries=%d active=%d queued=%d mutations=%d repairs=%d errors={timeout=%d shed=%d canceled=%d invalid=%d internal=%d} cache{hits=%d misses=%d entries=%d bytes=%d evictions=%d}",
+		st.Queries, st.Active, st.Queued, st.Mutations, st.Repairs,
 		st.Errors.Timeout, st.Errors.Shed, st.Errors.Canceled, st.Errors.Invalid, st.Errors.Internal,
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Cache.Bytes, st.Cache.Evictions)
 	log.Printf("m2mserve: drained, exiting")

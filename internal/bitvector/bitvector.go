@@ -140,11 +140,41 @@ func BuildFromColumnParallel(rel *storage.Relation, column string, live *storage
 // filter of the same geometry, built in O(buckets) with no hashing —
 // phase 1 of the BVP strategies gets its bitvectors for free from the
 // tables it builds anyway.
+//
+// For a versioned table the geometry stays pinned to the packed part's
+// directory and the append-region keys are folded in with ordinary
+// inserts. Every append key is added whether or not it is still live,
+// and tombstoned packed entries keep their tag bits: filter bits are
+// OR-monotone under append and never cleared by deletes, so a filter
+// repaired incrementally (Clone + AddKeys on each commit) is
+// bit-identical to this cold derivation at every version, and the
+// geometry only changes when compaction rebuilds the table. A false
+// positive from a dead entry's surviving bit is caught by the exact
+// table probe, like any tag collision.
 func FromTable(t *hashtable.Table) *Filter {
-	return &Filter{
+	f := &Filter{
 		bits:  t.FilterWords(),
 		shift: t.Shift() + 3,
-		n:     t.Len(),
+		n:     t.PackedLen(),
+	}
+	f.AddKeys(t.AppendedKeys())
+	return f
+}
+
+// Clone returns an independent copy of f — the copy-on-write step of
+// incremental filter repair, so in-flight queries keep probing the
+// filter of the snapshot they started on.
+func (f *Filter) Clone() *Filter {
+	bits := make([]uint64, len(f.bits))
+	copy(bits, f.bits)
+	return &Filter{bits: bits, shift: f.shift, n: f.n}
+}
+
+// AddKeys registers a batch of keys (the appended rows of one commit);
+// the filter is OR-monotone, so repair never removes bits.
+func (f *Filter) AddKeys(keys []int64) {
+	for _, key := range keys {
+		f.Add(key)
 	}
 }
 

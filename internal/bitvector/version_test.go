@@ -1,0 +1,136 @@
+package bitvector
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// versionedDataset builds a one-child dataset ("R2" keyed on "k") and
+// walks it through random commits, returning every snapshot.
+func versionedDataset(t *testing.T, rows, steps int, seed int64) []*storage.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := plan.NewTree("R1")
+	tr.AddChild(plan.Root, plan.EdgeStats{M: 0.5, Fo: 2}, "R2")
+	r1 := storage.NewRelation("R1", "id")
+	r1.AppendRow(0)
+	r2 := storage.NewRelation("R2", "id", "k")
+	for i := 0; i < rows; i++ {
+		r2.AppendRow(int64(i), rng.Int63n(int64(rows/2+1)))
+	}
+	ds := storage.NewDataset(tr)
+	ds.SetRelation(plan.Root, r1, "")
+	ds.SetRelation(plan.NodeID(1), r2, "k")
+
+	snaps := []*storage.Dataset{ds}
+	cur := ds
+	for s := 0; s < steps; s++ {
+		id := plan.NodeID(1)
+		rel, live := cur.Relation(id), cur.Live(id)
+		d := cur.Begin()
+		for o, n := 0, 1+rng.Intn(6); o < n; o++ {
+			if rng.Intn(10) < 6 {
+				d.Append("R2", rng.Int63n(1<<20), rng.Int63n(int64(rows/2+1)))
+			} else {
+				row := rng.Intn(rel.NumRows())
+				if live == nil || live.Get(row) {
+					d.Delete("R2", row)
+					if live == nil {
+						live = storage.NewBitmap(rel.NumRows())
+					}
+					live = live.Clone()
+					live.Clear(row)
+				}
+			}
+		}
+		v, err := d.Commit()
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		cur = v.Dataset
+		snaps = append(snaps, cur)
+	}
+	return snaps
+}
+
+// buildVersionedTable builds the cold versioned table for a snapshot.
+func buildVersionedTable(ds *storage.Dataset) *hashtable.Table {
+	id := plan.NodeID(1)
+	return hashtable.BuildVersioned(ds.Relation(id), "k",
+		ds.BaseRows(id), ds.BaseLive(id), ds.Live(id), 1, nil)
+}
+
+// TestFilterRepairMatchesColdDerivation: at every version, a filter
+// repaired incrementally (Clone + AddKeys of each commit's appended
+// keys) must be bit-identical to the cold FromTable derivation — the
+// OR-monotone invariant the serving layer's commit-time repair relies
+// on. Deletes must change nothing.
+func TestFilterRepairMatchesColdDerivation(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		snaps := versionedDataset(t, 80+trial*40, 10, int64(trial*7+3))
+		id := plan.NodeID(1)
+		repaired := FromTable(buildVersionedTable(snaps[0]))
+		for vi := 1; vi < len(snaps); vi++ {
+			ds, prev := snaps[vi], snaps[vi-1]
+			table := buildVersionedTable(ds)
+			cold := FromTable(table)
+			if ds.BaseRows(id) != prev.BaseRows(id) {
+				// Compaction rebuilt the packed layout: geometry may
+				// change, repair restarts from the cold derivation.
+				repaired = cold
+			} else {
+				// This commit's appended keys are the column tail above
+				// the previous snapshot's row count, in append order —
+				// exactly what the serving layer feeds AddKeys.
+				from, to := prev.Relation(id).NumRows(), ds.Relation(id).NumRows()
+				if to > from {
+					next := repaired.Clone()
+					next.AddKeys(ds.Relation(id).Column("k")[from:to])
+					repaired = next
+				}
+				// else: delete-only commit — the filter must carry over
+				// unchanged, bits are never cleared.
+			}
+			if !reflect.DeepEqual(repaired.bits, cold.bits) {
+				t.Fatalf("trial %d v%d: repaired filter bits diverged from cold derivation", trial, vi)
+			}
+			if repaired.shift != cold.shift || repaired.n != cold.n {
+				t.Fatalf("trial %d v%d: geometry diverged (shift %d/%d, n %d/%d)",
+					trial, vi, repaired.shift, cold.shift, repaired.n, cold.n)
+			}
+			// No false negatives over live rows, the filter contract.
+			rel, live := ds.Relation(id), ds.Live(id)
+			col := rel.Column("k")
+			for r := 0; r < rel.NumRows(); r++ {
+				if (live == nil || live.Get(r)) && !repaired.MayContain(col[r]) {
+					t.Fatalf("trial %d v%d: live key %d missing from filter", trial, vi, col[r])
+				}
+			}
+		}
+	}
+}
+
+// TestFilterCloneIsolation: Clone must produce an independent bit
+// array — AddKeys on the clone must not leak into the original (the
+// snapshot-isolation half of filter repair).
+func TestFilterCloneIsolation(t *testing.T) {
+	f := New(1000, 10)
+	for k := int64(0); k < 100; k++ {
+		f.Add(k)
+	}
+	before := make([]uint64, len(f.bits))
+	copy(before, f.bits)
+	c := f.Clone()
+	c.AddKeys([]int64{999999, 888888, 777777})
+	if !reflect.DeepEqual(f.bits, before) {
+		t.Fatalf("AddKeys on clone mutated the original filter")
+	}
+	if !c.MayContain(999999) {
+		t.Fatalf("clone lost an added key")
+	}
+}

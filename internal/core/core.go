@@ -150,6 +150,9 @@ type ExecuteOptions struct {
 	// CollectOutput receives output tuples (canonical NodeID layout);
 	// requires FlatOutput.
 	CollectOutput func(rows []int32)
+	// Version pins the dataset snapshot the query must run against
+	// (see exec.Options.Version); 0 skips the check.
+	Version uint64
 }
 
 // Execute runs the chosen plan against the dataset.
@@ -166,6 +169,7 @@ func Execute(ds *storage.Dataset, choice PlanChoice, opts ExecuteOptions) (exec.
 		Selections:    opts.Selections,
 		DriverRowMap:  opts.DriverRowMap,
 		CollectOutput: opts.CollectOutput,
+		Version:       opts.Version,
 	})
 }
 

@@ -91,6 +91,13 @@ type Options struct {
 	// Selections are pushed-down equality predicates evaluated on the
 	// base relations before execution (Section 2.1's assumption).
 	Selections []Selection
+	// Version, when nonzero, pins the dataset snapshot this run must
+	// execute against: Run fails if the dataset's version number
+	// differs. The serving layer stamps it from the snapshot it
+	// admitted the query on, so a stale or mis-routed snapshot is
+	// caught before any artifact lookup; 0 skips the check (version-0
+	// datasets are implicitly unpinned).
+	Version uint64
 	// Ctx optionally bounds the execution. Workers poll it cooperatively
 	// — between driver chunks in phase 2, between relation builds and
 	// reduction chunks in phase 1, and between build morsels inside the
@@ -305,11 +312,16 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 				len(opts.DriverRowMap), n)
 		}
 	}
+	if opts.Version != 0 && opts.Version != ds.Version() {
+		return Stats{}, fmt.Errorf("exec: query pinned to dataset version %d, snapshot is version %d",
+			opts.Version, ds.Version())
+	}
 
 	nrel := ds.Tree.Len()
 	r := &run{ds: ds, opts: opts, residuals: newResidualChecker(ds, opts.Residuals)}
 	r.perRel = make([]int64, nrel)
-	r.baseMasks = selectionMasks(ds, opts.Selections)
+	r.selMasks = selectionMasks(ds, opts.Selections)
+	r.baseMasks = effectiveMasks(ds, r.selMasks)
 	r.driverLive = maskAt(r.baseMasks, plan.Root)
 	if opts.Ctx != nil {
 		r.done = opts.Ctx.Done()
@@ -378,9 +390,17 @@ type run struct {
 	filters []*bitvector.Filter
 
 	residuals *residualChecker
-	// baseMasks are the pushed-down selection masks per relation,
-	// indexed by NodeID (nil entries or a nil slice mean all-live).
-	// Masks are word-packed; see storage.Bitmap.
+	// selMasks are the pushed-down selection masks alone, indexed by
+	// NodeID (nil entries or a nil slice mean no selection). They decide
+	// artifact shape: a relation with no selection builds in the
+	// versioned shape and is cacheable, one with a selection builds
+	// packed over the effective mask.
+	selMasks []*storage.Bitmap
+	// baseMasks are the effective masks — selection ∧ snapshot liveness
+	// — per relation (nil entries or a nil slice mean all-live). The
+	// semi-join pass, explicit-density filter builds and the driver scan
+	// honor these. Masks are word-packed; see storage.Bitmap. Entries
+	// may alias the dataset's live bitmaps and are read-only downstream.
 	baseMasks []*storage.Bitmap
 	// driverLive restricts the driver scan: the selection mask, further
 	// reduced by the semi-join pass for SJ strategies. Nil = all live.
@@ -514,8 +534,24 @@ func (r *run) buildTables() {
 				return
 			}
 		}
-		tbl := hashtable.BuildParallelStop(
-			r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), per, stop)
+		var tbl *hashtable.Table
+		if maskAt(r.selMasks, id) == nil {
+			// No selection: build in the versioned shape — packed part
+			// over the base region, tombstones, append sub-table — which
+			// is exactly what incremental repair maintains, so a cached
+			// artifact and a cold build are interchangeable bit for bit.
+			// For a fully packed, fully live relation this is the plain
+			// packed build.
+			tbl = hashtable.BuildVersioned(
+				r.ds.Relation(id), r.ds.KeyColumn(id),
+				r.ds.BaseRows(id), r.ds.BaseLive(id), r.ds.Live(id), per, stop)
+		} else {
+			// Selection-shaped builds stay packed over the effective
+			// (selection ∧ liveness) mask; they are cache-keyed by mask
+			// fingerprint and version, never repaired.
+			tbl = hashtable.BuildParallelStop(
+				r.ds.Relation(id), r.ds.KeyColumn(id), maskAt(r.baseMasks, id), per, stop)
+		}
 		if tbl == nil {
 			return // build abandoned by cancellation
 		}

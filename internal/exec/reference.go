@@ -31,7 +31,7 @@ func ReferenceResiduals(ds *storage.Dataset, residuals []Residual) (count int64,
 // engine's tagged unchained table against the chained build.
 func ReferenceOpts(ds *storage.Dataset, residuals []Residual, selections []Selection) (count int64, checksum uint64) {
 	rc := newResidualChecker(ds, residuals)
-	masks := selectionMasks(ds, selections)
+	masks := effectiveMasks(ds, selectionMasks(ds, selections))
 	t := ds.Tree
 	// Index child rows by key for each non-root relation.
 	indexes := make(map[plan.NodeID]*ChainedTable, t.Len()-1)

@@ -56,3 +56,34 @@ func selectionMasks(ds *storage.Dataset, selections []Selection) []*storage.Bitm
 	}
 	return masks
 }
+
+// effectiveMasks intersects the selection masks with the dataset's
+// per-relation liveness (versioned snapshots carry tombstones for
+// deleted rows): the result is what the semi-join pass, selection-
+// shaped builds and the driver scan honor. Relations without a
+// selection share the dataset's live bitmap by reference — every
+// downstream reader treats masks as read-only (the SJ pass copies
+// before reducing) — while selection masks, freshly allocated above,
+// are intersected in place. With no tombstones the selection masks
+// pass through untouched.
+func effectiveMasks(ds *storage.Dataset, sel []*storage.Bitmap) []*storage.Bitmap {
+	if !ds.HasDeltas() {
+		return sel
+	}
+	masks := sel
+	for i := 0; i < ds.Tree.Len(); i++ {
+		live := ds.Live(plan.NodeID(i))
+		if live == nil {
+			continue
+		}
+		if masks == nil {
+			masks = make([]*storage.Bitmap, ds.Tree.Len())
+		}
+		if masks[i] == nil {
+			masks[i] = live
+		} else {
+			masks[i].And(live)
+		}
+	}
+	return masks
+}

@@ -100,6 +100,22 @@ type Table struct {
 	// Tag(h) over the bucket's keys; dir[len-1] holds the total count.
 	dir   []uint64
 	shift uint // 64 - log2(bucket count)
+
+	// Versioned-maintenance state (delta.go). All zero for a plain
+	// build, in which case every probe takes the pipelined fast paths
+	// above untouched.
+	baseRows  int // rows [0, baseRows) are covered by the packed part
+	totalRows int // rows [baseRows, totalRows) are the append region
+	// dead tombstones packed entries (bit e = entry e dead); deletes
+	// flip bits here instead of disturbing the sorted layout.
+	dead      []uint64
+	deadCount int
+	// app is the packed sub-table over the append-region column tail,
+	// its rows already remapped to global indices; appDead tombstones
+	// its entries.
+	app          *Table
+	appDead      []uint64
+	appDeadCount int
 }
 
 // tag returns the table's tag bit for hash h.
@@ -116,11 +132,18 @@ func Build(rel *storage.Relation, keyColumn string, live *storage.Bitmap) *Table
 
 // MemoryBytes returns the heap footprint of the table's backing
 // arrays: the bucket-sorted key and row arrays plus the packed
-// directory. The arrays are allocated at exactly this size by the
-// build, so the figure is the real resident cost — the quantity the
-// serving layer's artifact cache charges against its byte budget.
+// directory, and — for versioned tables — the tombstone bitsets and
+// the append sub-table. Repaired tables share their packed arrays with
+// the version they were repaired from, so when several versions are
+// cached at once the shared arrays are charged once per version: the
+// accounting is conservative (never under-counts resident bytes).
 func (t *Table) MemoryBytes() int64 {
-	return int64(len(t.keys))*8 + int64(len(t.rows))*4 + int64(len(t.dir))*8
+	b := int64(len(t.keys))*8 + int64(len(t.rows))*4 + int64(len(t.dir))*8
+	b += int64(len(t.dead))*8 + int64(len(t.appDead))*8
+	if t.app != nil {
+		b += t.app.MemoryBytes()
+	}
+	return b
 }
 
 // morselRows is the row granularity of the parallel build: 128 packed
@@ -161,7 +184,13 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 // hook must be cheap and safe to call from multiple goroutines; a
 // completed build is bit-identical to BuildParallel's.
 func BuildParallelStop(rel *storage.Relation, keyColumn string, live *storage.Bitmap, workers int, stop func() bool) *Table {
-	keyCol := rel.Column(keyColumn)
+	return buildColumn(rel.Column(keyColumn), live, workers, stop)
+}
+
+// buildColumn is the builder proper, over a bare key column — shared by
+// the relation-level entry points above and by the versioned build in
+// delta.go, which also runs it over append-region column slices.
+func buildColumn(keyCol storage.Column, live *storage.Bitmap, workers int, stop func() bool) *Table {
 	total := len(keyCol)
 	count := total
 	if live != nil {
@@ -439,8 +468,16 @@ func bucketCount(n int) int {
 // build switches to the denser load-<=-2 sizing.
 const largeTableRows = 128 * 1024
 
-// Len returns the number of rows in the table.
-func (t *Table) Len() int { return len(t.keys) }
+// Len returns the number of entries in the table — packed part plus
+// append region, tombstoned entries included (they remain physically
+// present until compaction).
+func (t *Table) Len() int {
+	n := len(t.keys)
+	if t.app != nil {
+		n += len(t.app.keys)
+	}
+	return n
+}
 
 // NumBuckets returns the directory size (a power of two).
 func (t *Table) NumBuckets() int { return len(t.dir) - 1 }
@@ -486,6 +523,10 @@ func (t *Table) lookup(key int64) (start, end uint64, ok bool) {
 // Contains reports whether key has at least one match. This is the
 // semi-join probe.
 func (t *Table) Contains(key int64) bool {
+	if t.hasDelta() {
+		found, _ := t.containsDelta(key)
+		return found
+	}
 	start, end, ok := t.lookup(key)
 	if !ok {
 		return false
@@ -502,6 +543,10 @@ func (t *Table) Contains(key int64) bool {
 // dst and returns the extended slice. This is one probe: a directory
 // load with a tag test, then a scan of one contiguous bucket run.
 func (t *Table) AppendMatches(dst []int32, key int64) []int32 {
+	if t.hasDelta() {
+		dst, _ = t.appendDelta(dst, key)
+		return dst
+	}
 	start, end, ok := t.lookup(key)
 	if !ok {
 		return dst
@@ -516,6 +561,10 @@ func (t *Table) AppendMatches(dst []int32, key int64) []int32 {
 
 // CountMatches returns the number of build rows matching key.
 func (t *Table) CountMatches(key int64) int32 {
+	if t.hasDelta() {
+		n, _ := t.countDelta(key)
+		return n
+	}
 	start, end, ok := t.lookup(key)
 	if !ok {
 		return 0
@@ -580,6 +629,10 @@ func (t *Table) ProbeBatch(keys []int64, sel []bool) ProbeResult {
 // surviving runs — contiguous, mostly cache-resident by now —
 // verifying exact keys and gathering match rows.
 func (t *Table) ProbeBatchInto(keys []int64, sel []bool, res *ProbeResult) {
+	if t.hasDelta() {
+		t.probeBatchDeltaInto(keys, sel, res)
+		return
+	}
 	n := len(keys)
 	res.Counts = buf.Grow(res.Counts, n)
 	res.Offsets = buf.Grow(res.Offsets, n+1)
@@ -675,6 +728,9 @@ func (t *Table) ProbeBatchInto(keys []int64, sel []bool, res *ProbeResult) {
 // before stage 2 writes out[i]. The pipeline scratch lives on the
 // stack, so concurrent calls on a shared table are safe.
 func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) ProbeStats {
+	if t.hasDelta() {
+		return t.probeContainsDelta(keys, sel, out)
+	}
 	var st ProbeStats
 	var runs [probeBlock]uint64
 	for lo := 0; lo < len(keys); lo += probeBlock {
@@ -731,6 +787,9 @@ func (t *Table) ProbeContains(keys []int64, sel []bool, out []bool) ProbeStats {
 // set rows (clearing definitive misses immediately) and prefetches the
 // surviving runs, stage 2 verifies them.
 func (t *Table) ReduceLive(keyCol storage.Column, live *storage.Bitmap, loRow, hiRow int) ProbeStats {
+	if t.hasDelta() {
+		return t.reduceLiveDelta(keyCol, live, loRow, hiRow)
+	}
 	var st ProbeStats
 	words := live.Words()
 	var runs [64]uint64
@@ -786,6 +845,9 @@ func (t *Table) ReduceLive(keyCol storage.Column, live *storage.Bitmap, loRow, h
 // number of build rows matching keys[i] for selected lanes, 0
 // otherwise. Pipelined like ProbeContains, with stack scratch.
 func (t *Table) ProbeCounts(keys []int64, sel []bool, counts []int32) ProbeStats {
+	if t.hasDelta() {
+		return t.probeCountsDelta(keys, sel, counts)
+	}
 	var st ProbeStats
 	var runs [probeBlock]uint64
 	for lo := 0; lo < len(keys); lo += probeBlock {

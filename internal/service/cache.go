@@ -14,12 +14,21 @@ import (
 // This file implements the shared build-artifact cache: a bounded LRU
 // over the immutable phase-1 structures (hash tables and bitvector
 // filters) keyed by everything that determines their bits — dataset
-// fingerprint, relation, key column and selection-mask fingerprint. A
-// hit hands the executor the exact structure a fresh build would
-// produce, so a warm query skips phase 1 entirely with bit-identical
-// Stats and checksum; eviction merely drops the cache's reference,
-// running queries keep probing their copy (the structures are
-// read-only after build, see PR 4).
+// lineage fingerprint and version, relation, key column and
+// selection-mask fingerprint. A hit hands the executor the exact
+// structure a fresh build would produce, so a warm query skips phase 1
+// entirely with bit-identical Stats and checksum; eviction merely
+// drops the cache's reference, running queries keep probing their copy
+// (the structures are read-only after build, see PR 4).
+//
+// Versioned datasets (PR 8) re-key artifacts per snapshot: the dataset
+// field is the snapshot's lineage fingerprint (storage.Dataset.
+// VersionFingerprint, which folds the version number and mutation
+// stream into the registered content fingerprint), so two versions of
+// one dataset never collide and equal replayed lineages share. The
+// serving layer repairs unselected artifacts onto the new key at
+// commit time (see mutate.go) and purges keys of retired versions
+// through purge.
 
 // artifactKind distinguishes the two cached structure types.
 type artifactKind uint8
@@ -31,11 +40,14 @@ const (
 
 // artifactKey identifies one cached build artifact. Two queries agree
 // on a key exactly when a fresh build would produce bit-identical
-// structures: same dataset content (fingerprint), same relation, same
-// join-key column, and the same pushed-down selection set on that
-// relation (maskFP, 0 for no selections).
+// structures: same dataset snapshot (lineage fingerprint + version
+// number — the fingerprint alone suffices, the number makes retention
+// predicates direct), same relation, same join-key column, and the
+// same pushed-down selection set on that relation (maskFP, 0 for no
+// selections).
 type artifactKey struct {
 	dataset uint64
+	version uint64
 	rel     plan.NodeID
 	keyCol  string
 	maskFP  uint64
@@ -59,6 +71,16 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	// Entries and Bytes describe current residency; Bytes never
 	// exceeds Limit.
+	//
+	// Bytes counts exactly the resident artifacts' own heap footprints
+	// (Table.MemoryBytes + Filter.MemoryBytes). It deliberately
+	// excludes the catalog's memoized plan choices and edge-statistic
+	// caches: those are a few KB per dataset, bounded by the catalog
+	// size rather than query traffic, and are never evicted — charging
+	// them against the artifact budget would shrink the effective cache
+	// by a constant without ever influencing an eviction decision. A
+	// test pins this accounting (Bytes == sum of resident artifact
+	// MemoryBytes, unmoved by planning).
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
 	Limit   int64 `json:"limit"`
@@ -136,6 +158,43 @@ func (c *artifactCache) put(e *cacheEntry) {
 	c.bytes += e.bytes
 }
 
+// peek returns the entry under key without touching the hit/miss
+// counters or the LRU order — the commit-time repair path uses it to
+// find the previous version's artifacts without skewing the stats the
+// load generator reports.
+func (c *artifactCache) peek(key artifactKey) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*cacheEntry)
+	}
+	return nil
+}
+
+// purge drops every entry whose key satisfies pred and returns the
+// count — retention of superseded dataset versions: when a version
+// falls out of its entry's retention window, all artifact keys minted
+// under its lineage fingerprints (main and per-shard) are purged in
+// one sweep. Purged bytes come off the budget immediately; in-flight
+// queries holding the artifacts keep probing them (read-only).
+func (c *artifactCache) purge(pred func(artifactKey) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if pred(e.key) {
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.bytes -= e.bytes
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // bytesCached returns the current resident byte total.
 func (c *artifactCache) bytesCached() int64 {
 	c.mu.Lock()
@@ -163,7 +222,8 @@ func (c *artifactCache) stats() CacheStats {
 // relation-indexed lookups resolve to fully qualified cache keys.
 type queryArtifacts struct {
 	cache   *artifactCache
-	dataset uint64
+	dataset uint64   // executing snapshot's lineage fingerprint
+	version uint64   // executing snapshot's version number
 	keyCols []string // indexed by NodeID; "" for the root
 	maskFPs []uint64 // indexed by NodeID; 0 = no selections
 }
@@ -171,6 +231,7 @@ type queryArtifacts struct {
 func (q *queryArtifacts) key(id plan.NodeID, kind artifactKind) artifactKey {
 	return artifactKey{
 		dataset: q.dataset,
+		version: q.version,
 		rel:     id,
 		keyCol:  q.keyCols[id],
 		maskFP:  q.maskFPs[id],

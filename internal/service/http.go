@@ -18,6 +18,8 @@ import (
 //	POST /v1/datasets        register a dataset (load a m2mdata
 //	                         directory, or generate a synthetic one)
 //	POST /v1/query           run a query (Request -> Result)
+//	POST /v1/mutate          commit a mutation batch as the dataset's
+//	                         next snapshot (MutateRequest -> MutateResult)
 //	GET  /v1/stats           service + cache counters
 //
 // Request bodies and responses are JSON. Query execution is bounded by
@@ -80,6 +82,19 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		res, err := s.Query(r.Context(), req)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
+		var req MutateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad mutate body: %w", err))
+			return
+		}
+		res, err := s.Mutate(r.Context(), req)
 		if err != nil {
 			writeQueryError(w, err)
 			return

@@ -73,6 +73,43 @@ func (h *HTTPRunner) Query(ctx context.Context, req Request) (Result, error) {
 	return res, nil
 }
 
+// Mutate posts one mutation batch; the server commits it as the
+// dataset's next snapshot. Failures carry the same classified error
+// envelope as queries.
+func (h *HTTPRunner) Mutate(ctx context.Context, req MutateRequest) (MutateResult, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return MutateResult{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+"/v1/mutate", bytes.NewReader(b))
+	if err != nil {
+		return MutateResult{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return MutateResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var env ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err == nil && env.Class != "" {
+			return MutateResult{}, &QueryError{
+				Class:      env.Class,
+				RetryAfter: time.Duration(env.RetryAfterMillis) * time.Millisecond,
+				Err:        fmt.Errorf("mutate: HTTP %d: %s", resp.StatusCode, env.Error),
+			}
+		}
+		return MutateResult{}, fmt.Errorf("mutate: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var res MutateResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return MutateResult{}, err
+	}
+	return res, nil
+}
+
 // Stats fetches the server's /v1/stats snapshot.
 func (h *HTTPRunner) Stats(ctx context.Context) (Stats, error) {
 	var st Stats

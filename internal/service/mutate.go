@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"m2mjoin/internal/hashtable"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// This file is the serving tier's write path. Mutate applies one batch
+// of appends and deletes to a registered dataset through the storage
+// delta API (storage.Dataset.Begin ... Commit), producing the next
+// snapshot in the dataset's version chain, and then maintains every
+// derived structure in lockstep:
+//
+//   - the entry head swaps to the new snapshot; queries admitted before
+//     the swap keep their pinned snapshot (copy-on-write columns and
+//     liveness make the old version immutable), queries admitted after
+//     see the new one — snapshot isolation with no reader locks;
+//   - unselected (maskFP == 0) cached artifacts of the previous version
+//     are repaired in place onto the new version's cache keys: tables
+//     via hashtable.ApplyDelta (O(delta), bit-identical to a cold
+//     build), filters via Clone + AddKeys (OR-monotone), untouched
+//     relations by re-inserting the same pointers under the new key.
+//     Compacted relations are skipped — the next query rebuilds them
+//     cold, which is the only correct shape after a geometry change;
+//   - memoized shard partitions advance through shard.Advance, routing
+//     the driver delta through the same row assignment, so per-shard
+//     version fingerprints stay in lockstep with the parent chain;
+//   - versions older than the retention window (the current and
+//     previous snapshot) have their artifact cache keys purged, so a
+//     write-heavy workload cannot grow the cache without bound on
+//     superseded versions.
+//
+// Writers are serialized per dataset (verMu): the storage delta chain
+// is single-writer per snapshot by contract. Mutations of datasets
+// served by remote shard backends are the operator's responsibility to
+// propagate — each process owns its own catalog, and a frontend only
+// verifies backend content by the registered fingerprint; this
+// prototype's sharded mutation story is the in-process one.
+
+// MutationSpec is one operation of a mutation batch, addressed by
+// relation name (the HTTP-friendly form of storage.Mutation).
+type MutationSpec struct {
+	// Op is "append" or "delete".
+	Op string `json:"op"`
+	// Relation names the target relation.
+	Relation string `json:"relation"`
+	// Values are the appended row's column values, in the relation's
+	// column order (append only).
+	Values []int64 `json:"values,omitempty"`
+	// Row is the global row index to tombstone (delete only).
+	Row int `json:"row,omitempty"`
+}
+
+// MutateRequest is one mutation batch; all operations commit
+// atomically as one version.
+type MutateRequest struct {
+	Dataset string         `json:"dataset"`
+	Ops     []MutationSpec `json:"ops"`
+}
+
+// MutateResult describes one committed version.
+type MutateResult struct {
+	Dataset string `json:"dataset"`
+	// Version and Fingerprint identify the committed snapshot in the
+	// dataset's lineage.
+	Version     uint64 `json:"version"`
+	Fingerprint uint64 `json:"fingerprint"`
+	// Applied is the number of operations in the committed batch.
+	Applied int `json:"applied"`
+	// Compacted names relations whose maintenance state was compacted
+	// at this commit (their artifacts rebuild cold on next use).
+	Compacted []string `json:"compacted,omitempty"`
+	// Repaired counts cached artifacts carried onto this version in
+	// place (tables repaired via ApplyDelta, filters via Clone+AddKeys,
+	// untouched relations re-keyed).
+	Repaired int `json:"repaired"`
+	// Rows reports each relation's physical row count after the commit
+	// (rows are never renumbered — deletes tombstone, compaction only
+	// advances the packed-region marker), so writers can address
+	// later deletes at their own appended rows.
+	Rows map[string]int `json:"rows"`
+}
+
+// Mutate commits one batch of appends and deletes against a registered
+// dataset, advancing it to the next snapshot version. Queries in
+// flight keep the snapshot they pinned at admission; queries admitted
+// after Mutate returns see the new version. Safe for concurrent use —
+// writers to one dataset are serialized internally.
+func (s *Service) Mutate(ctx context.Context, req MutateRequest) (MutateResult, error) {
+	if s.draining.Load() {
+		return MutateResult{}, shedErr(fmt.Errorf("service is draining"), jitter(time.Second))
+	}
+	e := s.entry(req.Dataset)
+	if e == nil {
+		return MutateResult{}, invalidErr(fmt.Errorf("unknown dataset %q", req.Dataset))
+	}
+	if len(req.Ops) == 0 {
+		return MutateResult{}, invalidErr(fmt.Errorf("mutation batch is empty"))
+	}
+	if err := ctx.Err(); err != nil {
+		return MutateResult{}, classifyExecError(err)
+	}
+
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	cur := e.head.Load()
+	delta := cur.Begin()
+	for _, op := range req.Ops {
+		if _, ok := e.nodeOf[op.Relation]; !ok {
+			return MutateResult{}, invalidErr(fmt.Errorf("dataset %q has no relation %q", req.Dataset, op.Relation))
+		}
+		switch op.Op {
+		case "append":
+			delta.Append(op.Relation, op.Values...)
+		case "delete":
+			delta.Delete(op.Relation, op.Row)
+		default:
+			return MutateResult{}, invalidErr(fmt.Errorf("unknown mutation op %q", op.Op))
+		}
+	}
+	v, err := delta.Commit()
+	if err != nil {
+		return MutateResult{}, invalidErr(err)
+	}
+
+	// Repair the previous version's unselected artifacts onto the new
+	// version's keys before publishing the head: the new keys cannot be
+	// queried yet, so the first post-swap query lands warm.
+	repaired := s.repairArtifacts(e, cur, v)
+	s.repairs.Add(int64(repaired))
+
+	var purged map[uint64]bool
+	e.shardMu.Lock()
+	e.versions = append(e.versions, versionRecord{number: v.Number, fps: []uint64{v.Fingerprint}})
+	e.advanceShardSetsLocked(v)
+	// Retention: keep the current and previous version's artifact keys;
+	// purge everything older in one sweep.
+	for len(e.versions) > 2 {
+		if purged == nil {
+			purged = make(map[uint64]bool)
+		}
+		for _, fp := range e.versions[0].fps {
+			purged[fp] = true
+		}
+		e.versions = e.versions[1:]
+	}
+	e.head.Store(v.Dataset)
+	e.shardMu.Unlock()
+	if purged != nil {
+		s.cache.purge(func(k artifactKey) bool { return purged[k.dataset] })
+	}
+	s.mutations.Add(1)
+
+	res := MutateResult{
+		Dataset:     req.Dataset,
+		Version:     v.Number,
+		Fingerprint: v.Fingerprint,
+		Applied:     len(req.Ops),
+		Repaired:    repaired,
+		Rows:        make(map[string]int, v.Dataset.Tree.Len()),
+	}
+	for i := 0; i < v.Dataset.Tree.Len(); i++ {
+		id := plan.NodeID(i)
+		res.Rows[v.Dataset.Tree.Name(id)] = v.Dataset.Relation(id).NumRows()
+	}
+	for _, d := range v.Deltas {
+		if d.Compacted {
+			res.Compacted = append(res.Compacted, v.Dataset.Tree.Name(d.Rel))
+		}
+	}
+	return res, nil
+}
+
+// repairArtifacts carries the previous snapshot's cached phase-1
+// artifacts onto the committed version's cache keys. Only unselected
+// artifacts (maskFP == 0) are repaired — selection-shaped masks would
+// need re-evaluation against the new liveness, so they rebuild cold on
+// next use, as do relations the commit compacted. Repaired tables are
+// produced by hashtable.ApplyDelta and filters by Clone + AddKeys,
+// both bit-identical to a cold build of the new version; untouched
+// relations re-insert the same immutable pointers under the new key
+// (their bytes are double-charged until the old version is purged —
+// the shared backing arrays make the real cost far smaller, and
+// MemoryBytes documents the conservative accounting).
+func (s *Service) repairArtifacts(e *datasetEntry, cur *storage.Dataset, v storage.Version) int {
+	oldFP, oldVer := cur.VersionFingerprint(), cur.Version()
+	newDS := v.Dataset
+	deltaOf := make(map[plan.NodeID]*storage.RelationDelta, len(v.Deltas))
+	for i := range v.Deltas {
+		deltaOf[v.Deltas[i].Rel] = &v.Deltas[i]
+	}
+	repaired := 0
+	for _, id := range newDS.Tree.NonRoot() {
+		keyCol := e.keyCols[id]
+		d := deltaOf[id]
+		if d != nil && d.Compacted {
+			continue
+		}
+		okey := artifactKey{dataset: oldFP, version: oldVer, rel: id, keyCol: keyCol, kind: kindTable}
+		nkey := artifactKey{dataset: v.Fingerprint, version: v.Number, rel: id, keyCol: keyCol, kind: kindTable}
+		if ent := s.cache.peek(okey); ent != nil {
+			nt := ent.table
+			if d != nil {
+				nt = nt.ApplyDelta(newDS.Relation(id), keyCol, hashtable.DeltaSpec{
+					BaseRows:     newDS.BaseRows(id),
+					BaseLive:     newDS.BaseLive(id),
+					Live:         newDS.Live(id),
+					AppendedFrom: d.AppendedFrom,
+					Deleted:      d.Deleted,
+				}, s.cfg.Parallelism, nil)
+			}
+			s.cache.put(&cacheEntry{key: nkey, table: nt, bytes: nt.MemoryBytes()})
+			repaired++
+		}
+		okey.kind, nkey.kind = kindFilter, kindFilter
+		if ent := s.cache.peek(okey); ent != nil {
+			nf := ent.filter
+			// Filter bits are liveness-independent and OR-monotone:
+			// deletes change nothing, appends fold in the new keys.
+			if d != nil && d.Appended > 0 {
+				nf = nf.Clone()
+				col := newDS.Relation(id).Column(keyCol)
+				nf.AddKeys(col[d.AppendedFrom:])
+			}
+			s.cache.put(&cacheEntry{key: nkey, filter: nf, bytes: nf.MemoryBytes()})
+			repaired++
+		}
+	}
+	return repaired
+}

@@ -10,9 +10,20 @@
 // is bit-identical however it is built, the service can share them
 // across queries: a warm-cache query executes with zero table/filter
 // builds while producing Stats and checksums bit-identical to a cold
-// run. Cache keys root at storage.Dataset.Fingerprint, so equal
-// content shares artifacts even across separately registered datasets,
-// and any mutation of a re-registered dataset re-keys them.
+// run. Cache keys root at the snapshot's lineage fingerprint
+// (storage.Dataset.VersionFingerprint — the content fingerprint at
+// registration, folded with each committed mutation batch), so equal
+// content shares artifacts even across separately registered datasets
+// and every committed version keys its own.
+//
+// Datasets are versioned in place: Mutate commits a batch of appends
+// and deletes through the storage delta API, swaps the entry's head
+// snapshot, repairs cached artifacts incrementally onto the new
+// version's keys, advances memoized shard partitions in lockstep, and
+// purges artifact keys of versions past the retention window (current
+// + previous). Queries pin the head snapshot at admission — a commit
+// landing mid-flight is invisible to them (snapshot isolation via
+// copy-on-write columns and liveness).
 //
 // Typical use:
 //
@@ -98,6 +109,9 @@ type Service struct {
 	targets []shardTarget
 
 	queries atomic.Int64
+	// mutations counts committed Mutate calls; repairs counts artifacts
+	// carried onto a new version in place (see mutate.go).
+	mutations, repairs atomic.Int64
 	// Sharded-tier counters (see ShardingStats).
 	scatterQueries, degraded, shardRetries atomic.Int64
 	hedges, hedgeWins, hedgeCancels        atomic.Int64
@@ -141,9 +155,21 @@ type ErrorCounts struct {
 	Internal int64 `json:"internal"`
 }
 
-// datasetEntry is one catalog entry: the dataset, its memoized
-// fingerprint and name→node mapping, a shared edge-statistics cache so
-// planning measures each edge once, and memoized plan choices.
+// datasetEntry is one catalog entry: the registered dataset and its
+// chain of committed snapshots, the memoized fingerprint and name→node
+// mapping, a shared edge-statistics cache so planning measures each
+// edge once, and memoized plan choices.
+//
+// Versioning: ds stays pinned to the snapshot registered at
+// RegisterDataset — planning, schema resolution and backend content
+// verification all key off it — while head tracks the latest committed
+// snapshot, swapped atomically by Mutate. A query pins head once at
+// admission and executes entirely against that snapshot (columns and
+// liveness are copy-on-write, so a concurrent commit is invisible to
+// it); plan choices are memoized over the registered snapshot's
+// measured statistics and stay in use across versions — deltas shift
+// cardinalities gradually, and re-registering under a new name replans
+// from scratch when they have drifted too far.
 type datasetEntry struct {
 	name    string
 	ds      *storage.Dataset
@@ -151,18 +177,41 @@ type datasetEntry struct {
 	nodeOf  map[string]plan.NodeID
 	keyCols []string
 
+	// head is the latest committed snapshot (initially ds).
+	head atomic.Pointer[storage.Dataset]
+	// verMu serializes writers: the storage delta chain is
+	// single-writer per snapshot, so Mutate holds verMu from Begin
+	// through the head swap.
+	verMu sync.Mutex
+	// versions is the retention window of recent snapshots' artifact
+	// key material, newest last: each record lists every lineage
+	// fingerprint (main + per-shard) under which that version's
+	// artifacts key into the cache, so retiring a version purges them
+	// in one sweep. Guarded by shardMu (shardSetFor appends shard
+	// fingerprints as partitions materialize).
+	versions []versionRecord
+
 	statsCache *workload.EdgeStatsCache
 
 	// breaker is this dataset's load-shedding circuit breaker.
 	breaker *breaker
 
 	// shardSets memoizes hash partitions by shard count, with their
-	// per-(shard, target) breakers (see shard.go).
+	// per-(shard, target) breakers (see shard.go). Each set is pinned
+	// to one version; Mutate advances live sets in lockstep with the
+	// commit (shard.Advance) and shardSetFor rebuilds stale ones.
 	shardMu   sync.Mutex
 	shardSets map[int]*shardSet
 
 	planMu sync.Mutex
 	plans  map[planKey]core.PlanChoice
+}
+
+// versionRecord is one snapshot's artifact key material (see
+// datasetEntry.versions).
+type versionRecord struct {
+	number uint64
+	fps    []uint64
 }
 
 // planKey memoizes plan selection per (strategy restriction, output
@@ -213,13 +262,17 @@ type DatasetInfo struct {
 	Relations   int    `json:"relations"`
 	TotalRows   int    `json:"totalRows"`
 	Fingerprint uint64 `json:"fingerprint"`
+	// Version is the latest committed snapshot's version number (0
+	// until the first Mutate commit).
+	Version uint64 `json:"version"`
 }
 
 // RegisterDataset adds ds to the catalog under name. The dataset is
-// validated and fingerprinted once here; the service assumes it is not
-// mutated afterwards (mutating a registered dataset would desynchronize
-// the fingerprint-keyed artifact cache). Registering an existing name
-// is an error.
+// validated and fingerprinted once here; all subsequent mutation must
+// go through Service.Mutate, which commits snapshots through the
+// storage delta API and re-keys the artifact cache per version —
+// mutating the registered dataset in place would desynchronize the
+// fingerprint-keyed cache. Registering an existing name is an error.
 func (s *Service) RegisterDataset(name string, ds *storage.Dataset) (DatasetInfo, error) {
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("service: dataset name must be non-empty")
@@ -237,6 +290,8 @@ func (s *Service) RegisterDataset(name string, ds *storage.Dataset) (DatasetInfo
 		breaker:    newBreaker(s.cfg.Breaker, s.now),
 		plans:      make(map[planKey]core.PlanChoice),
 	}
+	e.head.Store(ds)
+	e.versions = []versionRecord{{number: ds.Version(), fps: []uint64{ds.VersionFingerprint()}}}
 	for i := 0; i < ds.Tree.Len(); i++ {
 		id := plan.NodeID(i)
 		e.nodeOf[ds.Tree.Name(id)] = id
@@ -254,11 +309,13 @@ func (s *Service) RegisterDataset(name string, ds *storage.Dataset) (DatasetInfo
 }
 
 func (s *Service) infoLocked(e *datasetEntry) DatasetInfo {
+	head := e.head.Load()
 	return DatasetInfo{
 		Name:        e.name,
 		Relations:   e.ds.Tree.Len(),
-		TotalRows:   e.ds.TotalRows(),
+		TotalRows:   head.TotalRows(),
 		Fingerprint: e.fp,
+		Version:     head.Version(),
 	}
 }
 
@@ -379,6 +436,11 @@ type Result struct {
 	Order    string `json:"order"`
 	// Workers is the parallelism the query ran with after admission.
 	Workers int `json:"workers"`
+	// Version is the dataset snapshot the query executed against,
+	// pinned once at admission: a commit landing mid-flight is
+	// invisible, and Stats/checksum are bit-identical to any other
+	// execution of this version.
+	Version uint64 `json:"version"`
 	// Elapsed is the wall time inside the executor (excluding
 	// admission queueing).
 	Elapsed time.Duration `json:"elapsedNs"`
@@ -500,11 +562,16 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 		return s.queryScatter(ctx, e, req, choice, sels, workers, queued)
 	}
 
-	// Shard-worker role: swap in the requested shard's dataset, its
-	// global row map and its own artifact-cache fingerprint; everything
-	// downstream (planning already happened on the full dataset, so
-	// every worker of a scatter runs the same plan) is unchanged.
-	execDS, fp := e.ds, e.fp
+	// Pin the snapshot once: the query executes entirely against this
+	// version — a commit landing mid-flight swaps the entry head but
+	// never this pointer, and copy-on-write columns/liveness keep the
+	// pinned state immutable. Shard-worker role swaps in the requested
+	// shard's dataset, its global row map and its own artifact-cache
+	// fingerprint; everything downstream (planning already happened on
+	// the full dataset, so every worker of a scatter runs the same
+	// plan) is unchanged.
+	snap := e.head.Load()
+	execDS, fp, ver := snap, snap.VersionFingerprint(), snap.Version()
 	var rowMap []int32
 	if req.ShardCount > 1 {
 		set, serr := e.shardSetFor(s, req.ShardCount)
@@ -512,7 +579,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 			return Result{}, invalidErr(serr)
 		}
 		sh := set.shards[req.ShardIndex]
-		execDS, fp, rowMap = sh.DS, set.fps[req.ShardIndex], sh.RowMap
+		execDS, fp, ver, rowMap = sh.DS, set.fps[req.ShardIndex], set.version, sh.RowMap
 	}
 
 	// The SJ strategies build their tables from per-query semi-join-
@@ -521,7 +588,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	// their CacheHits/CacheMisses at zero rather than misleading).
 	var arts exec.Artifacts
 	if choice.Strategy != cost.SJSTD && choice.Strategy != cost.SJCOM {
-		arts = s.artifactsFor(fp, e, sels)
+		arts = s.artifactsFor(fp, ver, e, sels)
 	}
 
 	start := time.Now()
@@ -533,6 +600,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 		Artifacts:    arts,
 		Selections:   sels,
 		DriverRowMap: rowMap,
+		Version:      ver,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -543,6 +611,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 		Strategy: choice.Strategy.String(),
 		Order:    choice.Order.String(),
 		Workers:  workers,
+		Version:  ver,
 		Elapsed:  elapsed,
 		Queued:   queued,
 		Coverage: stats.Coverage,
@@ -618,12 +687,13 @@ func (e *datasetEntry) plan(strategy string, flat bool) (core.PlanChoice, error)
 }
 
 // artifactsFor builds the per-query cache view: the executing
-// dataset's fingerprint (the shard's own when executing one shard, so
-// per-shard phase-1 artifacts share the cache without colliding across
-// shard counts) plus one selection fingerprint per relation, hashed over
-// the relation's own (column, value) predicates in canonical order so
-// equivalent selection sets share artifacts.
-func (s *Service) artifactsFor(fp uint64, e *datasetEntry, sels []exec.Selection) exec.Artifacts {
+// snapshot's lineage fingerprint and version (the shard's own when
+// executing one shard, so per-shard phase-1 artifacts share the cache
+// without colliding across shard counts or versions) plus one
+// selection fingerprint per relation, hashed over the relation's own
+// (column, value) predicates in canonical order so equivalent
+// selection sets share artifacts.
+func (s *Service) artifactsFor(fp, ver uint64, e *datasetEntry, sels []exec.Selection) exec.Artifacts {
 	maskFPs := make([]uint64, e.ds.Tree.Len())
 	if len(sels) > 0 {
 		perRel := make(map[plan.NodeID][]exec.Selection)
@@ -648,6 +718,7 @@ func (s *Service) artifactsFor(fp uint64, e *datasetEntry, sels []exec.Selection
 	return &queryArtifacts{
 		cache:   s.cache,
 		dataset: fp,
+		version: ver,
 		keyCols: e.keyCols,
 		maskFPs: maskFPs,
 	}
@@ -657,7 +728,12 @@ func (s *Service) artifactsFor(fp uint64, e *datasetEntry, sels []exec.Selection
 type Stats struct {
 	Datasets int   `json:"datasets"`
 	Queries  int64 `json:"queries"`
-	Active   int   `json:"active"`
+	// Mutations counts committed Mutate calls; Repairs counts cached
+	// artifacts carried onto a new version in place instead of being
+	// rebuilt from scratch.
+	Mutations int64 `json:"mutations"`
+	Repairs   int64 `json:"repairs"`
+	Active    int   `json:"active"`
 	// Queued is the number of queries waiting for admission.
 	Queued int `json:"queued"`
 	// Draining reports whether the service has stopped admitting.
@@ -683,12 +759,14 @@ func (s *Service) Stats() Stats {
 	s.mu.RUnlock()
 	sort.Slice(breakers, func(i, j int) bool { return breakers[i].Dataset < breakers[j].Dataset })
 	return Stats{
-		Datasets: nds,
-		Queries:  s.queries.Load(),
-		Active:   s.admit.activeCount(),
-		Queued:   s.admit.queuedCount(),
-		Draining: s.draining.Load(),
-		Cache:    s.cache.stats(),
+		Datasets:  nds,
+		Queries:   s.queries.Load(),
+		Mutations: s.mutations.Load(),
+		Repairs:   s.repairs.Load(),
+		Active:    s.admit.activeCount(),
+		Queued:    s.admit.queuedCount(),
+		Draining:  s.draining.Load(),
+		Cache:     s.cache.stats(),
 		Errors: ErrorCounts{
 			Invalid:  s.errCounts.invalid.Load(),
 			Timeout:  s.errCounts.timeout.Load(),

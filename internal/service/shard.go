@@ -14,6 +14,7 @@ import (
 	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/shard"
+	"m2mjoin/internal/storage"
 )
 
 // This file is the serving tier's fault-tolerant scatter-gather path.
@@ -117,40 +118,50 @@ func newShardTargets(cfg ShardConfig) []shardTarget {
 }
 
 // shardSet is one dataset's partition at a given shard count, built
-// lazily and memoized on the entry: the shard datasets, their content
+// lazily and memoized on the entry: the shard datasets, their lineage
 // fingerprints (keying per-shard phase-1 artifacts in the shared
-// cache), and one circuit breaker per (shard, target) pair.
+// cache), the version the partition reflects, and one circuit breaker
+// per (shard, target) pair. A set is immutable once published — Mutate
+// replaces it wholesale with an advanced successor sharing the same
+// breakers, so in-flight scatters keep their consistent set pointer.
 type shardSet struct {
 	shards    []shard.Shard
 	fps       []uint64
+	version   uint64
 	totalRows int
 	// breakers[k][t] guards dispatches of shard k to target t.
 	breakers [][]*breaker
 }
 
-// shardSetFor returns the entry's memoized partition at n shards,
-// building it on first use.
+// shardSetFor returns the entry's memoized partition at n shards for
+// the current head version, building it on first use and rebuilding it
+// if a commit superseded it before Mutate's lockstep advance could
+// (the rare rebuild produces the identical partition — Advance is
+// row-for-row Partition — and inherits the superseded set's breakers).
 func (e *datasetEntry) shardSetFor(s *Service, n int) (*shardSet, error) {
 	e.shardMu.Lock()
 	defer e.shardMu.Unlock()
-	if set, ok := e.shardSets[n]; ok {
+	head := e.head.Load()
+	if set, ok := e.shardSets[n]; ok && set.version == head.Version() {
 		return set, nil
 	}
-	shards, err := shard.Partition(e.ds, n)
+	shards, err := shard.Partition(head, n)
 	if err != nil {
 		return nil, err
 	}
 	set := &shardSet{
 		shards:    shards,
 		fps:       make([]uint64, n),
-		totalRows: e.ds.Relation(plan.Root).NumRows(),
+		version:   head.Version(),
+		totalRows: head.Relation(plan.Root).NumRows(),
 		breakers:  make([][]*breaker, n),
 	}
+	old := e.shardSets[n]
 	for k := range shards {
-		if n == 1 {
-			set.fps[k] = e.fp // Partition returned the original dataset
-		} else {
-			set.fps[k] = shards[k].DS.Fingerprint()
+		set.fps[k] = shards[k].DS.VersionFingerprint()
+		if old != nil {
+			set.breakers[k] = old.breakers[k]
+			continue
 		}
 		set.breakers[k] = make([]*breaker, len(s.targets))
 		for t := range s.targets {
@@ -161,7 +172,57 @@ func (e *datasetEntry) shardSetFor(s *Service, n int) (*shardSet, error) {
 		e.shardSets = make(map[int]*shardSet)
 	}
 	e.shardSets[n] = set
+	e.recordShardFPsLocked(set)
 	return set, nil
+}
+
+// recordShardFPsLocked files a freshly built partition's lineage
+// fingerprints under its version's retention record, so retiring the
+// version later purges the per-shard artifact keys too. Caller holds
+// shardMu.
+func (e *datasetEntry) recordShardFPsLocked(set *shardSet) {
+	for i := range e.versions {
+		if e.versions[i].number == set.version {
+			e.versions[i].fps = append(e.versions[i].fps, set.fps...)
+			return
+		}
+	}
+}
+
+// advanceShardSetsLocked advances every memoized partition to the
+// freshly committed version v by routing the commit's driver delta
+// through shard.Advance — copy-on-write, so scatters holding the
+// previous set keep serving their snapshot. Sets that already reflect
+// v (a racing shardSetFor rebuild) are left alone; sets that somehow
+// fell further behind are dropped and rebuilt on next use. Caller
+// holds shardMu (and verMu, which serializes advances).
+func (e *datasetEntry) advanceShardSetsLocked(v storage.Version) {
+	for n, set := range e.shardSets {
+		if set.version == v.Number {
+			continue
+		}
+		if set.version+1 != v.Number {
+			delete(e.shardSets, n)
+			continue
+		}
+		shards, err := shard.Advance(set.shards, v.Dataset, v)
+		if err != nil {
+			delete(e.shardSets, n)
+			continue
+		}
+		ns := &shardSet{
+			shards:    shards,
+			fps:       make([]uint64, n),
+			version:   v.Number,
+			totalRows: v.Dataset.Relation(plan.Root).NumRows(),
+			breakers:  set.breakers,
+		}
+		for k := range shards {
+			ns.fps[k] = shards[k].DS.VersionFingerprint()
+		}
+		e.shardSets[n] = ns
+		e.recordShardFPsLocked(ns)
+	}
 }
 
 // shardCall carries one shard's dispatch context through retry and
@@ -200,7 +261,7 @@ func (localTarget) run(ctx context.Context, s *Service, c shardCall) (exec.Stats
 	sh := c.set.shards[c.k]
 	var arts exec.Artifacts
 	if c.choice.Strategy != cost.SJSTD && c.choice.Strategy != cost.SJCOM {
-		arts = s.artifactsFor(c.set.fps[c.k], c.e, c.sels)
+		arts = s.artifactsFor(c.set.fps[c.k], c.set.version, c.e, c.sels)
 	}
 	st, err := core.Execute(sh.DS, c.choice, core.ExecuteOptions{
 		FlatOutput:   c.req.FlatOutput,
@@ -210,6 +271,7 @@ func (localTarget) run(ctx context.Context, s *Service, c shardCall) (exec.Stats
 		Artifacts:    arts,
 		Selections:   c.sels,
 		DriverRowMap: sh.RowMap,
+		Version:      c.set.version,
 	})
 	if err != nil {
 		return exec.Stats{}, classifyExecError(err)
@@ -408,7 +470,7 @@ func (s *Service) queryScatter(ctx context.Context, e *datasetEntry, req Request
 	}
 	if len(failed) == 0 {
 		merged := exec.MergeShardStats(parts)
-		return s.scatterResult(req, choice, workers, elapsed, queued, n, merged), nil
+		return s.scatterResult(req, choice, workers, set.version, elapsed, queued, n, merged), nil
 	}
 
 	coverage := float64(len(survivors)) / float64(n)
@@ -420,7 +482,7 @@ func (s *Service) queryScatter(ctx context.Context, e *datasetEntry, req Request
 		merged.Coverage = coverage
 		merged.FailedShards = failed
 		s.degraded.Add(1)
-		return s.scatterResult(req, choice, workers, elapsed, queued, n, merged), nil
+		return s.scatterResult(req, choice, workers, set.version, elapsed, queued, n, merged), nil
 	}
 
 	// Surface the most severe shard failure as the query's verdict.
@@ -441,13 +503,14 @@ func (s *Service) queryScatter(ctx context.Context, e *datasetEntry, req Request
 
 // scatterResult assembles the client-facing Result of a (possibly
 // degraded) scatter.
-func (s *Service) scatterResult(req Request, choice core.PlanChoice, workers int,
+func (s *Service) scatterResult(req Request, choice core.PlanChoice, workers int, version uint64,
 	elapsed, queued time.Duration, n int, merged exec.Stats) Result {
 	return Result{
 		Dataset:      req.Dataset,
 		Strategy:     choice.Strategy.String(),
 		Order:        choice.Order.String(),
 		Workers:      workers,
+		Version:      version,
 		Elapsed:      elapsed,
 		Queued:       queued,
 		Shards:       n,

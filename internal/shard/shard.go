@@ -31,6 +31,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
@@ -115,11 +116,127 @@ func Partition(ds *storage.Dataset, n int) ([]Shard, error) {
 		rel := storage.NewRelation(driver.Name(), colNames...)
 		rel.GatherRows(driver, rowMaps[s])
 		sds := storage.NewDataset(ds.Tree)
-		sds.SetRelation(plan.Root, rel, "")
+		sds.SetRelationVersioned(plan.Root, rel, "",
+			gatherLive(ds.Live(plan.Root), rowMaps[s]), rel.NumRows(), nil)
 		for _, id := range ds.Tree.NonRoot() {
-			sds.SetRelation(id, ds.Relation(id), ds.KeyColumn(id))
+			// The build side is shared by reference, maintenance state
+			// included, so shard artifacts repair and compact exactly
+			// when the parent's do.
+			sds.SetRelationVersioned(id, ds.Relation(id), ds.KeyColumn(id),
+				ds.Live(id), ds.BaseRows(id), ds.BaseLive(id))
 		}
+		sds.SetVersion(ds.Version(), shardFingerprint(ds, n, s))
 		shards[s] = Shard{Index: s, Count: n, DS: sds, RowMap: rowMaps[s]}
+	}
+	return shards, nil
+}
+
+// shardFingerprint derives shard s's lineage fingerprint from the
+// parent snapshot's: unique per (parent lineage, shard count, shard),
+// and equal across processes that replayed the same mutation stream —
+// which is what keys per-shard artifacts into the serving cache
+// consistently however the shard dataset was produced (Partition from
+// scratch or Advance in lockstep).
+func shardFingerprint(parent *storage.Dataset, n, s int) uint64 {
+	h := storage.FingerprintUint64(parent.VersionFingerprint(), uint64(n))
+	return storage.FingerprintUint64(h, uint64(s))
+}
+
+// gatherLive builds a shard-local liveness mask from the parent's
+// driver mask and the shard's row map (nil in, nil out: all live).
+func gatherLive(parentLive *storage.Bitmap, rowMap []int32) *storage.Bitmap {
+	if parentLive == nil {
+		return nil
+	}
+	local := storage.NewBitmap(len(rowMap))
+	for i, row := range rowMap {
+		if !parentLive.Get(int(row)) {
+			local.Clear(i)
+		}
+	}
+	return local
+}
+
+// Advance derives the partition of the parent's next snapshot from the
+// partition of its predecessor, routing the commit's driver delta
+// through Assign so shard datasets version in lockstep with their
+// parent: appended driver rows are gathered onto exactly their owning
+// shard (copy-on-write, so the previous partition keeps serving its
+// snapshot), driver deletes clear the owning shard's local liveness
+// bit, and the shared build side simply re-references the parent
+// snapshot's relations and maintenance state. Like the storage commit
+// chain itself, Advance must be called at most once per predecessor
+// partition (a linear chain; the serving layer serializes writers).
+// The result is row-for-row identical to Partition(parent, n).
+func Advance(prev []Shard, parent *storage.Dataset, v storage.Version) ([]Shard, error) {
+	n := len(prev)
+	if n == 0 {
+		return nil, fmt.Errorf("shard: Advance of empty partition")
+	}
+	if parent != v.Dataset {
+		return nil, fmt.Errorf("shard: Advance parent is not the committed snapshot")
+	}
+	if n == 1 {
+		return []Shard{{Index: 0, Count: 1, DS: parent}}, nil
+	}
+
+	// The commit's driver delta, if any.
+	var rootDelta *storage.RelationDelta
+	for i := range v.Deltas {
+		if v.Deltas[i].Rel == plan.Root {
+			rootDelta = &v.Deltas[i]
+		}
+	}
+
+	driver := parent.Relation(plan.Root)
+	shards := make([]Shard, n)
+	appended := make([][]int32, n)
+	deleted := make([][]int32, n)
+	if rootDelta != nil {
+		for row := rootDelta.AppendedFrom; row < driver.NumRows(); row++ {
+			s := Assign(row, n)
+			appended[s] = append(appended[s], int32(row))
+		}
+		for _, row := range rootDelta.Deleted {
+			s := Assign(row, n)
+			deleted[s] = append(deleted[s], int32(row))
+		}
+	}
+	for s := 0; s < n; s++ {
+		rel := prev[s].DS.Relation(plan.Root)
+		rowMap := prev[s].RowMap
+		live := prev[s].DS.Live(plan.Root)
+		if len(appended[s]) > 0 {
+			rel = rel.CloneAppendRows(driver, appended[s])
+			// Appending global rows in ascending order keeps the row
+			// map ascending, so it stays binary-searchable.
+			rowMap = append(rowMap[:len(rowMap):len(rowMap)], appended[s]...)
+			if live != nil {
+				live = live.CloneGrown(rel.NumRows())
+			}
+		}
+		if len(deleted[s]) > 0 {
+			if live == nil {
+				live = storage.NewBitmap(rel.NumRows())
+			} else if len(appended[s]) == 0 {
+				live = live.Clone()
+			}
+			for _, row := range deleted[s] {
+				local := sort.Search(len(rowMap), func(i int) bool { return rowMap[i] >= row })
+				if local == len(rowMap) || rowMap[local] != row {
+					return nil, fmt.Errorf("shard: deleted driver row %d not in shard %d's row map", row, s)
+				}
+				live.Clear(local)
+			}
+		}
+		sds := storage.NewDataset(parent.Tree)
+		sds.SetRelationVersioned(plan.Root, rel, "", live, rel.NumRows(), nil)
+		for _, id := range parent.Tree.NonRoot() {
+			sds.SetRelationVersioned(id, parent.Relation(id), parent.KeyColumn(id),
+				parent.Live(id), parent.BaseRows(id), parent.BaseLive(id))
+		}
+		sds.SetVersion(parent.Version(), shardFingerprint(parent, n, s))
+		shards[s] = Shard{Index: s, Count: n, DS: sds, RowMap: rowMap}
 	}
 	return shards, nil
 }

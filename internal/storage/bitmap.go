@@ -142,6 +142,26 @@ func (b *Bitmap) Clone() *Bitmap {
 	return c
 }
 
+// CloneGrown returns an independent copy of b extended to n rows
+// (n >= Len()), with every added row set — the clone-on-write growth
+// step of a dataset commit, where appended rows start live.
+func (b *Bitmap) CloneGrown(n int) *Bitmap {
+	if n < b.n {
+		panic("storage: Bitmap.CloneGrown shrinks the bitmap")
+	}
+	c := &Bitmap{words: make([]uint64, wordsFor(n)), n: n}
+	copy(c.words, b.words)
+	if b.n&63 != 0 {
+		// Set the rest of b's last word, then whole words after it.
+		c.words[b.n>>6] |= ^uint64(0) << (uint(b.n) & 63)
+	}
+	for wi := wordsFor(b.n); wi < len(c.words); wi++ {
+		c.words[wi] = ^uint64(0)
+	}
+	c.clearTail()
+	return c
+}
+
 // And intersects b with o word-wise. The bitmaps must cover the same
 // number of rows.
 func (b *Bitmap) And(o *Bitmap) {

@@ -129,10 +129,31 @@ func (r *Relation) Grow(n int) {
 // non-root node c, the join with its parent is an equi-join on
 // KeyColumn(c): the parent relation and c's relation both carry a
 // column with that name.
+//
+// A Dataset is an immutable snapshot once published: mutations go
+// through the delta API in version.go (Begin/Append/Delete/Commit),
+// which produces successor snapshots sharing storage with this one.
 type Dataset struct {
 	Tree *plan.Tree
 	rels map[plan.NodeID]*Relation
 	keys map[plan.NodeID]string
+
+	// Versioned-snapshot state (see version.go). All maps may be nil
+	// for a dataset that has never been committed to: version 0, every
+	// row live, every relation fully packed.
+	version uint64
+	vfp     uint64
+	vfpSet  bool
+	// live holds per-relation liveness; a missing entry means all rows
+	// live.
+	live map[plan.NodeID]*Bitmap
+	// baseRows is the per-relation base marker: rows [0, baseRows) are
+	// the packed region of derived artifacts, [baseRows, NumRows) the
+	// append region. A missing entry means fully packed.
+	baseRows map[plan.NodeID]int
+	// baseLive is the per-relation live-at-last-compaction mask over
+	// the base region; a missing entry means all base rows were live.
+	baseLive map[plan.NodeID]*Bitmap
 }
 
 // NewDataset creates a dataset for the tree. Relations are attached
@@ -201,6 +222,22 @@ func (d *Dataset) Validate() error {
 		if !parent.HasColumn(key) {
 			return fmt.Errorf("parent relation %q missing join column %q for child %q",
 				parent.Name(), key, rel.Name())
+		}
+	}
+	for id, b := range d.live {
+		if b != nil && b.Len() != d.rels[id].NumRows() {
+			return fmt.Errorf("relation %q liveness mask covers %d rows, relation has %d",
+				d.rels[id].Name(), b.Len(), d.rels[id].NumRows())
+		}
+	}
+	for id, base := range d.baseRows {
+		if base < 0 || base > d.rels[id].NumRows() {
+			return fmt.Errorf("relation %q base marker %d out of range [0, %d]",
+				d.rels[id].Name(), base, d.rels[id].NumRows())
+		}
+		if bl := d.baseLive[id]; bl != nil && bl.Len() < base {
+			return fmt.Errorf("relation %q base-live mask covers %d rows, base marker is %d",
+				d.rels[id].Name(), bl.Len(), base)
 		}
 	}
 	return nil

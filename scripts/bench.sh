@@ -1,7 +1,9 @@
 #!/bin/sh
 # Record a benchmark snapshot for the execution strategies, at
-# parallelism 1, at the full worker sweep, and across the shard-count
-# sweep (1/2/4 shards of the scatter-gather layer), into a JSON file
+# parallelism 1, at the full worker sweep, across the shard-count
+# sweep (1/2/4 shards of the scatter-gather layer), and for the
+# incremental-maintenance path (ApplyDelta repair vs BuildVersioned
+# cold rebuild on a mutated 200k-row relation), into a JSON file
 # (one object per benchmark, plus environment metadata). Perf PRs
 # record a new snapshot (e.g. BENCH_pr2.json) and compare it against
 # the committed trajectory (BENCH_baseline.json, BENCH_pr2.json, ...).
@@ -73,6 +75,13 @@ echo "running strategy benchmarks (benchtime=$benchtime, count=$count)..." >&2
 # this path).
 if ! go test -bench='BenchmarkStrategies($|Parallel|Sharded)' -benchtime="$benchtime" \
     -benchmem -run='^$' -count="$count" . > "$raw" 2>&1; then
+    cat "$raw" >&2
+    echo "benchmarks failed" >&2
+    exit 1
+fi
+echo "running incremental-repair benchmarks..." >&2
+if ! go test -bench='BenchmarkIncrementalRepair' -benchtime="$benchtime" \
+    -benchmem -run='^$' -count="$count" ./internal/hashtable/ >> "$raw" 2>&1; then
     cat "$raw" >&2
     echo "benchmarks failed" >&2
     exit 1
