@@ -45,6 +45,7 @@
 package main
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"flag"
@@ -86,6 +87,10 @@ func main() {
 		"per-shard attempt deadline (0 = default 2s, negative disables)")
 	hedgeDelay := flag.Duration("hedge-delay", 0,
 		"duplicate a straggling shard attempt on the next replica after this delay (0 = off)")
+	sharedScan := flag.Bool("shared-scan", false,
+		"batch co-arrived compatible queries onto one shared driver scan")
+	attachWindow := flag.Duration("attach-window", 0,
+		"shared-scan attach window (0 = default 1ms)")
 	var datasets []string
 	flag.Func("dataset", "register a m2mdata directory as name=dir (repeatable)",
 		func(v string) error {
@@ -116,7 +121,15 @@ func main() {
 			AttemptTimeout: *shardTimeout,
 			HedgeDelay:     *hedgeDelay,
 		},
+		SharedScan: service.SharedScanConfig{
+			Enabled:      *sharedScan,
+			AttachWindow: *attachWindow,
+		},
 	})
+	if *sharedScan {
+		log.Printf("m2mserve: shared-scan batching on (window %v)",
+			cmp.Or(*attachWindow, service.DefaultAttachWindow))
+	}
 	if *shards > 1 || len(backendList) > 0 {
 		log.Printf("m2mserve: sharded tier: %d shards, %d backends %v",
 			max(*shards, len(backendList)), len(backendList), backendList)

@@ -1,0 +1,253 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"m2mjoin/internal/buf"
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/faultinject"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/storage"
+)
+
+// This file is the shared-scan batch executor: several queries against
+// the same dataset snapshot execute as ONE driver pass whose chunk
+// loop evaluates every attached query's probe set per chunk, instead
+// of each query rescanning the driver alone. Each member keeps its own
+// phase 1 (its strategy may differ, its artifacts come from its own
+// provider), its own workers, counters and checksum, its own fault
+// injection and its own cancellation: because every counter is
+// additive over driver chunks and the checksum is an order-independent
+// sum — the same invariants that make parallelism bit-identical — a
+// member's Stats are bit-identical to running it solo. What members
+// must share is the scan geometry: the same driver row set (no
+// root-relation selections that differ) and the same chunk size, so
+// chunk i means the same rows for everyone.
+//
+// SJ strategies are rejected: their phase 1 reduces the driver mask
+// per query, so no common driver scan exists (the serving layer
+// routes them solo for the same reason).
+
+// ErrBatchIncompatible wraps per-member shared-scan eligibility
+// failures so callers can route the member to a solo run.
+var ErrBatchIncompatible = fmt.Errorf("exec: query incompatible with shared scan")
+
+// RunBatch executes the queries described by optsList against ds as a
+// shared driver scan, returning one Stats and one error slot per
+// member (exactly what Run would have returned for it, bit for bit —
+// solo-vs-shared parity is pinned by batch_test.go). Members that fail
+// validation, eligibility or their own build phase get their error
+// recorded and drop out; the surviving members still share the scan. A
+// member failing or being cancelled mid-pass stops consuming chunks at
+// its next poll without perturbing the others.
+func RunBatch(ds *storage.Dataset, optsList []Options) ([]Stats, []error) {
+	stats := make([]Stats, len(optsList))
+	errs := make([]error, len(optsList))
+	members := make([]*run, 0, len(optsList))
+	slots := make([]int, 0, len(optsList))
+	for i, opts := range optsList {
+		r, err := prepareBatchMember(ds, opts, members)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		members = append(members, r)
+		slots = append(slots, i)
+	}
+	if len(members) == 0 {
+		return stats, errs
+	}
+
+	executeShared(members)
+
+	for j, r := range members {
+		i := slots[j]
+		if err := r.failure(); err != nil {
+			errs[i] = fmt.Errorf("exec: query failed: %w", err)
+			continue
+		}
+		if r.ctxDone() {
+			errs[i] = fmt.Errorf("exec: query cancelled: %w", r.opts.Ctx.Err())
+			continue
+		}
+		stats[i] = r.collectStats()
+	}
+	return stats, errs
+}
+
+// prepareBatchMember runs one member through prepare and its own build
+// phase, then checks it can share a scan with the already-admitted
+// members: non-SJ strategy, the common chunk size, and the same driver
+// row set.
+func prepareBatchMember(ds *storage.Dataset, opts Options, admitted []*run) (*run, error) {
+	switch opts.Strategy {
+	case cost.SJSTD, cost.SJCOM:
+		return nil, fmt.Errorf("%w: semi-join strategies reduce the driver per query", ErrBatchIncompatible)
+	}
+	r, err := prepare(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(admitted) > 0 {
+		lead := admitted[0]
+		if r.opts.ChunkSize != lead.opts.ChunkSize {
+			return nil, fmt.Errorf("%w: chunk size %d differs from the batch's %d",
+				ErrBatchIncompatible, r.opts.ChunkSize, lead.opts.ChunkSize)
+		}
+		if !sameDriverMask(r.driverLive, lead.driverLive) {
+			return nil, fmt.Errorf("%w: driver row set differs from the batch's", ErrBatchIncompatible)
+		}
+	}
+	if err := r.runPhase1(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// sameDriverMask reports whether two driver masks select the same
+// rows (nil = all rows live).
+func sameDriverMask(a, b *storage.Bitmap) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Len() != b.Len() {
+		return false
+	}
+	aw, bw := a.Words(), b.Words()
+	for i, w := range aw {
+		if w != bw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// executeShared is the shared phase 2: one pass over the common driver
+// chunks, each chunk evaluated for every live member before the scan
+// advances. Work distributes over the maximum member parallelism; a
+// worker slot owns one private worker PER member (chunk scratch is
+// per-query state), so within a slot the members' chunk loops
+// interleave over the same driver slice — the macro analogue of the
+// probe-chain interleaving, sharing the scan instead of the probes.
+// Per member and per chunk the same failpoint fires and the same
+// cancellation poll runs as in a solo pass, so fault and cancel
+// behavior stay per-query.
+func executeShared(members []*run) {
+	lead := members[0]
+	for _, r := range members {
+		r.prepareLayout()
+	}
+	var live []int32
+	n := lead.ds.Relation(plan.Root).NumRows()
+	if lead.driverLive != nil {
+		live = lead.driverRows()
+		n = len(live)
+	}
+	cs := lead.opts.ChunkSize
+	nChunks := (n + cs - 1) / cs
+
+	p := 1
+	for _, r := range members {
+		if r.opts.Parallelism > p {
+			p = r.opts.Parallelism
+		}
+	}
+	if p > nChunks {
+		p = nChunks
+	}
+	for _, r := range members {
+		r.collectLocked = r.opts.CollectOutput != nil && p > 1
+	}
+
+	// runChunk evaluates chunk i for every member still running, on
+	// the worker set ws (one worker per member). iota is the slot's
+	// shared driver buffer for maskless scans — filled once per chunk,
+	// read by every member.
+	runChunk := func(ws []*worker, i int, iota *[]int32) {
+		lo := i * cs
+		hi := min(lo+cs, n)
+		rows := live
+		if rows == nil {
+			*iota = buf.Grow(*iota, hi-lo)
+			rows = *iota
+			for j := range rows {
+				rows[j] = int32(lo + j)
+			}
+		} else {
+			rows = rows[lo:hi]
+		}
+		for m, r := range members {
+			if r.cancelled() {
+				continue
+			}
+			if err := faultinject.Fire(faultinject.SiteProbeChunk); err != nil {
+				r.fail(err)
+				continue
+			}
+			w := ws[m]
+			r.guard("phase2-worker", func() { w.runChunk(rows) })
+		}
+	}
+
+	newWorkers := func() []*worker {
+		ws := make([]*worker, len(members))
+		for m, r := range members {
+			ws[m] = newWorker(r)
+		}
+		return ws
+	}
+	mergeWorkers := func(ws []*worker) {
+		for m, r := range members {
+			r.merge(ws[m])
+		}
+	}
+
+	if p <= 1 {
+		ws := newWorkers()
+		var iota []int32
+		for i := 0; i < nChunks; i++ {
+			if allDone(members) {
+				break
+			}
+			runChunk(ws, i, &iota)
+		}
+		mergeWorkers(ws)
+		return
+	}
+
+	slots := make([][]*worker, p)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for s := range slots {
+		slots[s] = newWorkers()
+		wg.Add(1)
+		go func(ws []*worker) {
+			defer wg.Done()
+			var iota []int32
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nChunks || allDone(members) {
+					return
+				}
+				runChunk(ws, i, &iota)
+			}
+		}(slots[s])
+	}
+	wg.Wait()
+	for _, ws := range slots {
+		mergeWorkers(ws)
+	}
+}
+
+// allDone reports whether every member has failed or been cancelled —
+// the shared scan's early-exit condition.
+func allDone(members []*run) bool {
+	for _, r := range members {
+		if !r.cancelled() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+// TestRunBatchMatchesSolo: every member of a shared scan must get the
+// Stats its solo Run would have produced, bit for bit — across mixed
+// strategies, orders, chunk-size defaulting and per-member
+// parallelism. This is the invariant that lets the serving layer
+// attach co-arrived queries to one driver pass without perturbing any
+// observable number.
+func TestRunBatchMatchesSolo(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	tr := plan.Snowflake(3, 2, plan.UniformStats(rng, 0.5, 0.9, 1, 3))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 3000, Seed: 31})
+	fwd := plan.Order(tr.NonRoot())
+	alt := append(plan.Order(nil), fwd...)
+	// Swapping two sibling leaves keeps precedence: in a snowflake the
+	// last two order entries are leaves of different branches.
+	alt[len(alt)-1], alt[len(alt)-2] = alt[len(alt)-2], alt[len(alt)-1]
+
+	optsList := []Options{
+		{Strategy: cost.STD, Order: fwd, FlatOutput: true, ChunkSize: 512},
+		{Strategy: cost.COM, Order: alt, ChunkSize: 512},
+		{Strategy: cost.BVPSTD, Order: fwd, FlatOutput: true, ChunkSize: 512, Parallelism: 8},
+		{Strategy: cost.BVPCOM, Order: fwd, ChunkSize: 512, Parallelism: 2},
+	}
+	want := make([]Stats, len(optsList))
+	for i, o := range optsList {
+		st, err := Run(ds, o)
+		if err != nil {
+			t.Fatalf("solo %d: %v", i, err)
+		}
+		if st.OutputTuples == 0 {
+			t.Fatalf("solo %d: degenerate test, no output", i)
+		}
+		want[i] = st
+	}
+	got, errs := RunBatch(ds, optsList)
+	for i := range optsList {
+		if errs[i] != nil {
+			t.Fatalf("batch member %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("member %d: shared-scan stats diverge from solo:\n got %+v\nwant %+v",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunBatchIncompatible: SJ members and scan-geometry mismatches
+// must be rejected with ErrBatchIncompatible (so the serving layer can
+// route them solo) while the compatible members still run — and still
+// match solo.
+func TestRunBatchIncompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tr := plan.Star(4, plan.UniformStats(rng, 0.6, 0.9, 1, 2))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 2000, Seed: 37})
+	order := plan.Order(tr.NonRoot())
+
+	lead := Options{Strategy: cost.STD, Order: order, FlatOutput: true, ChunkSize: 256}
+	soloWant, err := Run(ds, lead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsList := []Options{
+		lead,
+		{Strategy: cost.SJSTD, Order: order, FlatOutput: true, ChunkSize: 256},
+		{Strategy: cost.STD, Order: order, FlatOutput: true, ChunkSize: 1024},
+	}
+	got, errs := RunBatch(ds, optsList)
+	if errs[0] != nil {
+		t.Fatalf("lead member: %v", errs[0])
+	}
+	if !reflect.DeepEqual(got[0], soloWant) {
+		t.Errorf("lead member diverged from solo after rejections")
+	}
+	for _, i := range []int{1, 2} {
+		if !errors.Is(errs[i], ErrBatchIncompatible) {
+			t.Errorf("member %d: err = %v, want ErrBatchIncompatible", i, errs[i])
+		}
+	}
+
+	// Selections on the driver change the shared row set: a member whose
+	// driver mask differs from the lead's must be rejected too.
+	selRng := rand.New(rand.NewSource(72))
+	selDS := selectableDataset(selRng, 800)
+	selOrder := plan.Order{1, 2, 3}
+	selLead := Options{Strategy: cost.STD, Order: selOrder, FlatOutput: true}
+	_, errs = RunBatch(selDS, []Options{
+		selLead,
+		{Strategy: cost.STD, Order: selOrder, FlatOutput: true,
+			Selections: []Selection{{Rel: plan.Root, Column: "cat", Value: 1}}},
+	})
+	if errs[0] != nil {
+		t.Fatalf("lead: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrBatchIncompatible) {
+		t.Errorf("driver-mask mismatch: err = %v, want ErrBatchIncompatible", errs[1])
+	}
+
+	// Matching non-root selections are fine (they do not touch the
+	// driver row set) — both members must match their solos.
+	childSel := []Selection{{Rel: 1, Column: "cat", Value: 2}}
+	soloA, err := Run(selDS, selLead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsB := Options{Strategy: cost.BVPSTD, Order: selOrder, FlatOutput: true, Selections: childSel}
+	soloB, err := Run(selDS, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errs = RunBatch(selDS, []Options{selLead, optsB})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("child-selection batch: %v, %v", errs[0], errs[1])
+	}
+	if !reflect.DeepEqual(got[0], soloA) || !reflect.DeepEqual(got[1], soloB) {
+		t.Errorf("child-selection batch diverged from solo")
+	}
+}
+
+// TestRunBatchMemberCancellation: cancelling ONE attached member
+// mid-pass must surface the cancellation sentinel for that member only
+// — the survivors finish and stay bit-identical to solo. The cancel
+// fires from inside the victim's own CollectOutput callback, i.e. in
+// the middle of the shared chunk loop.
+func TestRunBatchMemberCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	tr := plan.Star(4, plan.UniformStats(rng, 0.6, 0.9, 1, 2))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 4000, Seed: 41})
+	order := plan.Order(tr.NonRoot())
+
+	for _, par := range []int{1, 4} {
+		surv := Options{Strategy: cost.COM, Order: order, ChunkSize: 128, Parallelism: par}
+		survWant, err := Run(ds, surv)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var emitted atomic.Int64
+		victim := Options{
+			Strategy: cost.STD, Order: order, FlatOutput: true,
+			ChunkSize: 128, Parallelism: par, Ctx: ctx,
+			CollectOutput: func(rows []int32) {
+				if emitted.Add(1) == 50 {
+					cancel()
+				}
+			},
+		}
+		got, errs := RunBatch(ds, []Options{victim, surv})
+		if !errors.Is(errs[0], context.Canceled) {
+			t.Fatalf("par=%d: victim err = %v, want context.Canceled", par, errs[0])
+		}
+		if errs[1] != nil {
+			t.Fatalf("par=%d: survivor err = %v", par, errs[1])
+		}
+		if !reflect.DeepEqual(got[1], survWant) {
+			t.Errorf("par=%d: survivor stats perturbed by sibling cancellation:\n got %+v\nwant %+v",
+				par, got[1], survWant)
+		}
+	}
+}
+
+// TestSharedScanAllocationsChunkCountInvariant pins the shared chunk
+// loop's steady state: with two members attached, shrinking the chunk
+// size 16x must not meaningfully grow allocations — per-chunk work
+// (the guard, the driver iota fill, each member's probe chains) runs
+// out of per-slot scratch.
+func TestSharedScanAllocationsChunkCountInvariant(t *testing.T) {
+	tr := plan.Snowflake(3, 2, plan.FixedStats(0.7, 2))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 8000, Seed: 11})
+	order := plan.Order(tr.NonRoot())
+
+	measure := func(chunkSize int) float64 {
+		optsList := []Options{
+			{Strategy: cost.STD, Order: order, FlatOutput: true, ChunkSize: chunkSize},
+			{Strategy: cost.COM, Order: order, ChunkSize: chunkSize},
+		}
+		return testing.AllocsPerRun(3, func() {
+			_, errs := RunBatch(ds, optsList)
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	few := measure(4096) // 2 chunks
+	many := measure(256) // 32 chunks
+	if many > few+40 || many > 2*few {
+		t.Errorf("shared-scan allocations scale with chunk count: %0.f allocs at 32 chunks vs %0.f at 2",
+			many, few)
+	}
+}

@@ -82,6 +82,16 @@ type Options struct {
 	// breadth-first variant (Section 4.3's alternative); identical
 	// output, different memory/locality trade-off.
 	BreadthFirstExpand bool
+	// NoInterleave is an ablation switch: phase-2 probe chains run
+	// their links sequentially — each relation's batch probe (and each
+	// bitvector filter pass) drains completely before the next
+	// relation's starts — instead of the default round-robin interleaved
+	// wavefront that overlaps directory misses across relations, and
+	// the phase-1 semi-join pass reduces siblings one at a time instead
+	// of word-skewed. Stats and checksums are bit-identical either way
+	// (pinned by the interleave differential tests); the switch exists
+	// to measure what the overlap buys.
+	NoInterleave bool
 	// NoKillPropagation is an ablation switch: liveness kills stop
 	// propagating through the factor chunk, so COM variants keep
 	// probing on behalf of rows whose other branches already died.
@@ -277,11 +287,37 @@ func (e *PanicError) Unwrap() error {
 
 // Run executes the query described by the dataset under opts.
 func Run(ds *storage.Dataset, opts Options) (Stats, error) {
+	r, err := prepare(ds, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := r.runPhase1(); err != nil {
+		return Stats{}, err
+	}
+
+	r.guard("phase2", func() {
+		r.prepareLayout()
+		r.execute()
+	})
+	if err := r.failure(); err != nil {
+		return Stats{}, fmt.Errorf("exec: query failed: %w", err)
+	}
+	if r.ctxDone() {
+		return Stats{}, fmt.Errorf("exec: query cancelled: %w", r.opts.Ctx.Err())
+	}
+	return r.collectStats(), nil
+}
+
+// prepare validates opts against the dataset, normalizes defaults and
+// constructs the run state — everything Run does before the build
+// phase. Shared with RunBatch (batch.go), which prepares every member
+// of a shared scan through the same path.
+func prepare(ds *storage.Dataset, opts Options) (*run, error) {
 	if err := ds.Validate(); err != nil {
-		return Stats{}, fmt.Errorf("exec: invalid dataset: %w", err)
+		return nil, fmt.Errorf("exec: invalid dataset: %w", err)
 	}
 	if !opts.Order.Valid(ds.Tree) {
-		return Stats{}, fmt.Errorf("exec: invalid join order %v", opts.Order)
+		return nil, fmt.Errorf("exec: invalid join order %v", opts.Order)
 	}
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = DefaultChunkSize
@@ -294,42 +330,47 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 		}
 	}
 	if opts.CollectOutput != nil && !opts.FlatOutput {
-		return Stats{}, fmt.Errorf("exec: CollectOutput requires FlatOutput")
+		return nil, fmt.Errorf("exec: CollectOutput requires FlatOutput")
 	}
 	for _, res := range opts.Residuals {
 		if err := res.Validate(ds); err != nil {
-			return Stats{}, fmt.Errorf("exec: %w", err)
+			return nil, fmt.Errorf("exec: %w", err)
 		}
 	}
 	for _, sel := range opts.Selections {
 		if err := sel.Validate(ds); err != nil {
-			return Stats{}, fmt.Errorf("exec: %w", err)
+			return nil, fmt.Errorf("exec: %w", err)
 		}
 	}
 	if opts.DriverRowMap != nil {
 		if n := ds.Relation(plan.Root).NumRows(); len(opts.DriverRowMap) != n {
-			return Stats{}, fmt.Errorf("exec: DriverRowMap has %d entries for %d driver rows",
+			return nil, fmt.Errorf("exec: DriverRowMap has %d entries for %d driver rows",
 				len(opts.DriverRowMap), n)
 		}
 	}
 	if opts.Version != 0 && opts.Version != ds.Version() {
-		return Stats{}, fmt.Errorf("exec: query pinned to dataset version %d, snapshot is version %d",
+		return nil, fmt.Errorf("exec: query pinned to dataset version %d, snapshot is version %d",
 			opts.Version, ds.Version())
 	}
 
-	nrel := ds.Tree.Len()
 	r := &run{ds: ds, opts: opts, residuals: newResidualChecker(ds, opts.Residuals)}
-	r.perRel = make([]int64, nrel)
+	r.perRel = make([]int64, ds.Tree.Len())
 	r.selMasks = selectionMasks(ds, opts.Selections)
 	r.baseMasks = effectiveMasks(ds, r.selMasks)
 	r.driverLive = maskAt(r.baseMasks, plan.Root)
 	if opts.Ctx != nil {
 		r.done = opts.Ctx.Done()
 	}
+	return r, nil
+}
 
+// runPhase1 executes the build phase — hash tables, filters, semi-join
+// reduction per the strategy — under the phase-1 panic boundary, and
+// converts failures and cancellation into Run's error contract.
+func (r *run) runPhase1() error {
 	var badStrategy error
 	r.guard("phase1", func() {
-		switch opts.Strategy {
+		switch r.opts.Strategy {
 		case cost.STD, cost.COM:
 			r.buildTables()
 		case cost.BVPSTD, cost.BVPCOM:
@@ -338,41 +379,35 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 		case cost.SJSTD, cost.SJCOM:
 			r.semiJoinPass() // builds reduced tables as it goes
 		default:
-			badStrategy = fmt.Errorf("exec: unknown strategy %v", opts.Strategy)
+			badStrategy = fmt.Errorf("exec: unknown strategy %v", r.opts.Strategy)
 		}
 	})
 	if badStrategy != nil {
-		return Stats{}, badStrategy
+		return badStrategy
 	}
 	if err := r.failure(); err != nil {
-		return Stats{}, fmt.Errorf("exec: query failed during build phase: %w", err)
+		return fmt.Errorf("exec: query failed during build phase: %w", err)
 	}
 	if r.ctxDone() {
-		return Stats{}, fmt.Errorf("exec: query cancelled during build phase: %w", opts.Ctx.Err())
+		return fmt.Errorf("exec: query cancelled during build phase: %w", r.opts.Ctx.Err())
 	}
+	return nil
+}
 
-	r.guard("phase2", func() {
-		r.prepareLayout()
-		r.execute()
-	})
-	if err := r.failure(); err != nil {
-		return Stats{}, fmt.Errorf("exec: query failed: %w", err)
-	}
-	if r.ctxDone() {
-		return Stats{}, fmt.Errorf("exec: query cancelled: %w", opts.Ctx.Err())
-	}
-
+// collectStats finalizes the post-run stats tail (cache counters, the
+// per-relation probe map, coverage) and returns the run totals.
+func (r *run) collectStats() Stats {
 	r.stats.CacheHits = r.cacheHits.Load()
 	r.stats.CacheMisses = r.cacheMisses.Load()
-	if opts.Artifacts != nil {
-		r.stats.BytesCached = opts.Artifacts.BytesCached()
+	if r.opts.Artifacts != nil {
+		r.stats.BytesCached = r.opts.Artifacts.BytesCached()
 	}
-	r.stats.PerRelationProbes = make(map[plan.NodeID]int64, nrel-1)
-	for _, id := range ds.Tree.NonRoot() {
+	r.stats.PerRelationProbes = make(map[plan.NodeID]int64, r.ds.Tree.Len()-1)
+	for _, id := range r.ds.Tree.NonRoot() {
 		r.stats.PerRelationProbes[id] = r.perRel[id]
 	}
 	r.stats.Coverage = 1
-	return r.stats, nil
+	return r.stats
 }
 
 // run holds the state shared by all workers of one execution. After
@@ -822,6 +857,11 @@ type worker struct {
 	// STD scratch: two column sets (join-order layout) that ping-pong
 	// between input and output of each join.
 	colsA, colsB [][]int32
+
+	// links is the interleaved probe-chain arena (interleave.go):
+	// per-link key gathers, selection masks and the staged pipeline,
+	// reused across chunks.
+	links []chainLink
 
 	// COM scratch: the reusable factor chunk, plus the expansion
 	// callbacks (built once so per-chunk expansion allocates no

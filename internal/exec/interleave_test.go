@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/workload"
+)
+
+// TestInterleavedMatchesSequential is the central differential test of
+// the interleaved probe pipelines: for every strategy × worker count ×
+// shape, the wavefront-scheduled chunk loop (the default) must produce
+// the FULL Stats — checksum, every probe counter, the per-relation
+// breakdown — bit-identical to the sequential drain (NoInterleave).
+// The chain construction replays exactly the sequential probe set
+// (chained selection masks stand in for compaction; fusion only folds
+// the step's last filter), so nothing may drift.
+func TestInterleavedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	shapes := []struct {
+		name string
+		tr   *plan.Tree
+	}{
+		{"star", plan.Star(5, plan.UniformStats(rng, 0.5, 0.9, 1, 3))},
+		{"path", plan.Path(5, plan.UniformStats(rng, 0.6, 0.9, 1, 2))},
+		{"snowflake", plan.Snowflake(3, 2, plan.UniformStats(rng, 0.5, 0.9, 1, 3))},
+	}
+	for _, sh := range shapes {
+		ds := workload.Generate(sh.tr, workload.Config{DriverRows: 2500, Seed: 19})
+		order := plan.Order(sh.tr.NonRoot())
+		for _, s := range cost.AllStrategies {
+			for _, par := range []int{1, 2, 8} {
+				opts := Options{
+					Strategy:    s,
+					Order:       order,
+					FlatOutput:  true,
+					ChunkSize:   512,
+					Parallelism: par,
+				}
+				seq := opts
+				seq.NoInterleave = true
+				want, err := Run(ds, seq)
+				if err != nil {
+					t.Fatalf("%s %v par=%d sequential: %v", sh.name, s, par, err)
+				}
+				got, err := Run(ds, opts)
+				if err != nil {
+					t.Fatalf("%s %v par=%d interleaved: %v", sh.name, s, par, err)
+				}
+				if want.OutputTuples == 0 {
+					t.Fatalf("%s %v: degenerate test, no output", sh.name, s)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s %v par=%d: interleaved stats diverge:\n got %+v\nwant %+v",
+						sh.name, s, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestInterleavedMatchesSequentialSelections repeats the differential
+// with pushed-down selections: driver selections shrink the scan,
+// child selections put holes in the hash tables and (for BVP) the
+// bitvectors, and the root pre-pass runs behind a partially-dead
+// driver mask — the sparse-mask cases of the chained-selection proof.
+func TestInterleavedMatchesSequentialSelections(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ds := selectableDataset(rng, 1500)
+	order := plan.Order{1, 2, 3}
+	selections := []Selection{
+		{Rel: plan.Root, Column: "cat", Value: 1},
+		{Rel: 1, Column: "cat", Value: 2},
+		{Rel: 3, Column: "cat", Value: 0},
+	}
+	for _, s := range cost.AllStrategies {
+		for _, par := range []int{1, 8} {
+			opts := Options{
+				Strategy:    s,
+				Order:       order,
+				FlatOutput:  true,
+				ChunkSize:   256,
+				Parallelism: par,
+				Selections:  selections,
+			}
+			seq := opts
+			seq.NoInterleave = true
+			want, err := Run(ds, seq)
+			if err != nil {
+				t.Fatalf("%v par=%d sequential: %v", s, par, err)
+			}
+			got, err := Run(ds, opts)
+			if err != nil {
+				t.Fatalf("%v par=%d interleaved: %v", s, par, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v par=%d: interleaved stats diverge under selections:\n got %+v\nwant %+v",
+					s, par, got, want)
+			}
+		}
+	}
+}
+
+// TestInterleavedMatchesSequentialSkewed runs the differential over a
+// skewed workload (long runs in some buckets, empty tails in others)
+// plus factorized output, so run verification and expansion both see
+// non-uniform match lists.
+func TestInterleavedMatchesSequentialSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	tr := plan.Star(4, plan.UniformStats(rng, 0.4, 0.95, 1, 5))
+	fanouts := make(map[plan.NodeID]workload.FanoutDist)
+	for _, id := range tr.NonRoot() {
+		fanouts[id] = workload.NewZipf(1.1, 40)
+	}
+	ds := workload.Generate(tr, workload.Config{
+		DriverRows: 4000, Seed: 23,
+		Fanouts:          fanouts,
+		DanglingFraction: 0.3, // dangling keys give the probes an empty tail
+	})
+	order := plan.Order(tr.NonRoot())
+	for _, s := range cost.AllStrategies {
+		for _, flat := range []bool{true, false} {
+			opts := Options{
+				Strategy:   s,
+				Order:      order,
+				FlatOutput: flat,
+				ChunkSize:  512,
+			}
+			seq := opts
+			seq.NoInterleave = true
+			want, err := Run(ds, seq)
+			if err != nil {
+				t.Fatalf("%v flat=%v sequential: %v", s, flat, err)
+			}
+			got, err := Run(ds, opts)
+			if err != nil {
+				t.Fatalf("%v flat=%v interleaved: %v", s, flat, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v flat=%v: interleaved stats diverge on skewed keys:\n got %+v\nwant %+v",
+					s, flat, got, want)
+			}
+		}
+	}
+}
+
+// TestInterleavedAllocationsChunkCountInvariant pins the steady-state
+// allocation-freedom of the interleaved path, exactly as
+// TestAllocationsChunkCountInvariant pins the sequential one: the
+// chain links, their key/mask scratch and the pipeline results all
+// live in per-worker arenas, so 16x more chunks must not mean more
+// allocations.
+func TestInterleavedAllocationsChunkCountInvariant(t *testing.T) {
+	tr := plan.Snowflake(3, 2, plan.FixedStats(0.7, 2))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 8000, Seed: 11})
+	order := plan.Order(tr.NonRoot())
+
+	for _, s := range cost.AllStrategies {
+		measure := func(chunkSize int) float64 {
+			return testing.AllocsPerRun(3, func() {
+				if _, err := Run(ds, Options{
+					Strategy: s, Order: order, FlatOutput: true, ChunkSize: chunkSize,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		few := measure(4096)
+		many := measure(256)
+		if many > few+40 || many > 2*few {
+			t.Errorf("%v: interleaved allocations scale with chunk count: %0.f allocs at 32 chunks vs %0.f at 2",
+				s, many, few)
+		}
+	}
+}

@@ -54,17 +54,27 @@ func (r *run) semiJoinPass() {
 				scratch.Reset(rel.NumRows())
 			}
 			mask = scratch
-			for _, c := range children {
-				if r.cancelled() {
-					return
+			// Reductions of non-root parents never read the driver:
+			// they are pure build-side work, replicated identically in
+			// every shard of a partitioned dataset, and their counters
+			// go into the Build* split so the scatter-gather merge can
+			// count them once (see Stats.BuildSemiJoinProbes).
+			if len(children) > 1 && !r.opts.NoInterleave &&
+				(r.opts.Parallelism <= 1 || mask.Len() < minParallelReduceRows) {
+				// Sibling reductions of one parent interleave as a
+				// word-skewed wavefront (semiJoinReduceMulti) whenever
+				// each would otherwise run sequentially on this
+				// goroutine; the chunked parallel reduction keeps the
+				// one-child-at-a-time sweep.
+				r.semiJoinReduceMulti(children, rel, mask, p != plan.Root)
+			} else {
+				for _, c := range children {
+					if r.cancelled() {
+						return
+					}
+					keyCol := rel.Column(r.ds.KeyColumn(c))
+					r.semiJoinReduce(r.tables[c], keyCol, mask, p != plan.Root)
 				}
-				keyCol := rel.Column(r.ds.KeyColumn(c))
-				// Reductions of non-root parents never read the driver:
-				// they are pure build-side work, replicated identically in
-				// every shard of a partitioned dataset, and their counters
-				// go into the Build* split so the scatter-gather merge can
-				// count them once (see Stats.BuildSemiJoinProbes).
-				r.semiJoinReduce(r.tables[c], keyCol, mask, p != plan.Root)
 			}
 		}
 		if p != plan.Root {
@@ -146,6 +156,63 @@ func (r *run) semiJoinReduce(table *hashtable.Table, keyCol storage.Column, mask
 		TagHits:   int(tagHits.Load()),
 		TagMisses: int(tagMisses.Load()),
 	}, buildSide)
+}
+
+// semiJoinReduceMulti reduces one parent's mask against all of its
+// children's tables as a word-skewed wavefront: at step s, child j
+// reduces mask word s-j (hashtable.ReduceLiveWords), so child j only
+// ever probes the bits children 0..j-1 left set in that word — the
+// exact bits the sequential child-after-child sweep would probe —
+// while up to len(children) different tables have directory loads in
+// flight at once. Per-child stats accumulate separately and are folded
+// in child order, and each child fires the reduce-chunk failpoint once
+// before its first word, matching the sequential path's fire sequence;
+// a failure or cancellation abandons the wavefront exactly as it
+// abandons the sequential sweep (the run discards the partial mask).
+func (r *run) semiJoinReduceMulti(children []plan.NodeID, rel *storage.Relation, mask *storage.Bitmap, buildSide bool) {
+	m := len(children)
+	keyCols := make([]storage.Column, m)
+	for j, c := range children {
+		keyCols[j] = rel.Column(r.ds.KeyColumn(c))
+	}
+	stats := make([]hashtable.ProbeStats, m)
+	nWords := (mask.Len() + 63) / 64
+	for step := 0; step < nWords+m-1; step++ {
+		if r.cancelled() {
+			return
+		}
+		jlo := 0
+		if step >= nWords {
+			jlo = step - nWords + 1
+		}
+		jhi := step
+		if jhi > m-1 {
+			jhi = m - 1
+		}
+		for j := jlo; j <= jhi; j++ {
+			wi := step - j
+			if wi == 0 {
+				if err := faultinject.Fire(faultinject.SiteReduceChunk); err != nil {
+					r.fail(err)
+					return
+				}
+			}
+			stats[j].Add(r.tables[children[j]].ReduceLiveWords(keyCols[j], mask, wi, wi+1))
+		}
+	}
+	if nWords == 0 {
+		// Degenerate empty mask: the wavefront body never ran, but the
+		// sequential sweep still fires once per child.
+		for range children {
+			if err := faultinject.Fire(faultinject.SiteReduceChunk); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+	}
+	for _, st := range stats {
+		r.addSemiJoinStats(st, buildSide)
+	}
 }
 
 // addSemiJoinStats folds one reduction's probe stats into the run

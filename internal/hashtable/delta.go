@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/bits"
 
-	"m2mjoin/internal/buf"
 	"m2mjoin/internal/storage"
 )
 
@@ -348,28 +347,10 @@ func (t *Table) countDelta(key int64) (n int32, tagHit bool) {
 // delta state.
 func (t *Table) probeBatchDeltaInto(keys []int64, sel []bool, res *ProbeResult) {
 	n := len(keys)
-	res.Counts = buf.Grow(res.Counts, n)
-	res.Offsets = buf.Grow(res.Offsets, n+1)
-	counts, offsets := res.Counts, res.Offsets
-	out := res.Rows[:0]
-	probed, tagHits := 0, 0
-	offsets[0] = 0
-	for i, key := range keys {
-		if sel != nil && !sel[i] {
-			counts[i] = 0
-			offsets[i+1] = int32(len(out))
-			continue
-		}
-		probed++
-		before := int32(len(out))
-		var hit bool
-		out, hit = t.appendDelta(out, key)
-		if hit {
-			tagHits++
-		}
-		counts[i] = int32(len(out)) - before
-		offsets[i+1] = int32(len(out))
-	}
+	res.grow(n)
+	res.Offsets[0] = 0
+	out, probed, _, tagHits := t.probeDeltaBlock(keys, sel, nil, 0, nil,
+		res.Rows[:0], res.Counts, res.Offsets, 0, n)
 	res.Rows = out
 	res.Probed = probed
 	res.TagHits = tagHits

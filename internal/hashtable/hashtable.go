@@ -599,12 +599,6 @@ type ProbeResult struct {
 	// run verification (and may still have found no match — a tag
 	// false positive behaving like a hash collision).
 	TagHits, TagMisses int
-
-	// runs is the pipeline scratch: stage 1 records each surviving
-	// lane's packed run bounds plus the first-key verdict (start<<33 |
-	// end<<1 | firstEq; 0 for lanes skipped or tag-filtered). Kept on
-	// the result so repeated ProbeBatchInto calls reuse it.
-	runs []uint64
 }
 
 // ProbeBatch probes all keys whose selection entry is set (nil sel
@@ -634,82 +628,25 @@ func (t *Table) ProbeBatchInto(keys []int64, sel []bool, res *ProbeResult) {
 		return
 	}
 	n := len(keys)
-	res.Counts = buf.Grow(res.Counts, n)
-	res.Offsets = buf.Grow(res.Offsets, n+1)
-	res.runs = buf.Grow(res.runs, n)
-	counts, offsets, runs := res.Counts, res.Offsets, res.runs
-	dir, tkeys, trows := t.dir, t.keys, t.rows
+	res.grow(n)
 	out := res.Rows[:0]
 	probed, tagMiss := 0, 0
-	offsets[0] = 0
+	res.Offsets[0] = 0
 
+	// One block of run state suffices: stage 2 consumes a block's runs
+	// before stage 1 overwrites them with the next block's.
+	var runs [probeBlock]uint64
 	for lo := 0; lo < n; lo += probeBlock {
 		hi := min(lo+probeBlock, n)
 		// Stage 1: hash, tag-filter, prefetch. Surviving lanes record
 		// run bounds packed as start<<33 | end<<1 | firstEq — loading
 		// the run's first key for the firstEq compare doubles as the
 		// software prefetch of the line stage 2 scans.
-		if sel == nil {
-			for i := lo; i < hi; i++ {
-				key := keys[i]
-				h := Hash64(key)
-				b := h >> t.shift
-				w := dir[b]
-				if w&t.tag(h) == 0 {
-					tagMiss++
-					runs[i] = 0
-					continue
-				}
-				start := w >> offShift
-				r := start<<33 | (dir[b+1]>>offShift)<<1
-				if tkeys[start] == key {
-					r |= 1
-				}
-				runs[i] = r
-			}
-		} else {
-			for i := lo; i < hi; i++ {
-				if !sel[i] {
-					runs[i] = 0
-					continue
-				}
-				probed++
-				key := keys[i]
-				h := Hash64(key)
-				b := h >> t.shift
-				w := dir[b]
-				if w&t.tag(h) == 0 {
-					tagMiss++
-					runs[i] = 0
-					continue
-				}
-				start := w >> offShift
-				r := start<<33 | (dir[b+1]>>offShift)<<1
-				if tkeys[start] == key {
-					r |= 1
-				}
-				runs[i] = r
-			}
-		}
+		p, tm := t.probeStage1Block(keys, sel, runs[:], lo, hi)
+		probed += p
+		tagMiss += tm
 		// Stage 2: verify runs, gather matches.
-		for i := lo; i < hi; i++ {
-			run := runs[i]
-			before := int32(len(out))
-			if run != 0 {
-				key := keys[i]
-				start := run >> 33
-				if run&1 != 0 {
-					out = append(out, trows[start])
-				}
-				for e, end := start+1, run>>1&(1<<32-1); e < end; e++ {
-					if tkeys[e] == key {
-						out = append(out, trows[e])
-					}
-				}
-			}
-			counts[i] = int32(len(out)) - before
-			offsets[i+1] = int32(len(out))
-		}
+		out = t.probeStage2Block(keys, runs[:], out, res.Counts, res.Offsets, lo, hi)
 	}
 	if sel == nil {
 		probed = n
@@ -792,51 +729,8 @@ func (t *Table) ReduceLive(keyCol storage.Column, live *storage.Bitmap, loRow, h
 	}
 	var st ProbeStats
 	words := live.Words()
-	var runs [64]uint64
 	for wi := loRow >> 6; wi < (hiRow+63)>>6; wi++ {
-		w := words[wi]
-		if w == 0 {
-			continue
-		}
-		st.Probed += bits.OnesCount64(w)
-		base := wi << 6
-		// Stage 1: tag-filter; definitive misses clear their bit now,
-		// survivors record run bounds plus the first-key verdict.
-		for m := w; m != 0; m &= m - 1 {
-			tz := bits.TrailingZeros64(m)
-			key := keyCol[base+tz]
-			h := Hash64(key)
-			b := h >> t.shift
-			d := t.dir[b]
-			if d&t.tag(h) == 0 {
-				st.TagMisses++
-				w &^= 1 << uint(tz)
-				continue
-			}
-			st.TagHits++
-			start := d >> offShift
-			r := start<<33 | (t.dir[b+1]>>offShift)<<1
-			if t.keys[start] == key {
-				r |= 1
-			}
-			runs[tz] = r
-		}
-		// Stage 2: verify the surviving (still set) rows.
-		for m := w; m != 0; m &= m - 1 {
-			tz := bits.TrailingZeros64(m)
-			run := runs[tz]
-			found := run&1 != 0
-			if !found {
-				key := keyCol[base+tz]
-				for e, end := run>>33+1, run>>1&(1<<32-1); !found && e < end; e++ {
-					found = t.keys[e] == key
-				}
-			}
-			if !found {
-				w &^= 1 << uint(tz)
-			}
-		}
-		words[wi] = w
+		st.add(t.reduceLiveWord(keyCol, words, wi))
 	}
 	return st
 }

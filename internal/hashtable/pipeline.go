@@ -1,0 +1,452 @@
+// Probe pipelines: the two-stage batch probe of ProbeBatchInto made
+// externally resumable, so an executor can drive several tables'
+// stage-1/stage-2 waves round-robin from one chunk loop. Each table's
+// stage 1 (hash, directory load, tag filter, first-key compare — a
+// load that doubles as the software prefetch of the run's cache line)
+// issues its memory traffic and returns; by the time the caller comes
+// back for stage 2, other tables' stage-1 loads have been issued in
+// between, so directory and run misses from different relations
+// overlap in the memory system instead of serializing one relation at
+// a time. Driving Stage1(b) immediately followed by Stage2(b) for
+// b = 0..NumBlocks()-1 is exactly ProbeBatchInto — the block bodies
+// are shared — so interleaved and sequential probes are bit-identical
+// by construction.
+package hashtable
+
+import (
+	"math/bits"
+
+	"m2mjoin/internal/buf"
+	"m2mjoin/internal/storage"
+)
+
+// ProbeBlock is the lane count of one pipeline block (the granularity
+// at which ProbePipeline stages are driven).
+const ProbeBlock = probeBlock
+
+// Add accumulates o into s (the exported form of the internal
+// accumulator, for callers that sum per-word or per-block stats).
+func (s *ProbeStats) Add(o ProbeStats) { s.add(o) }
+
+// grow sizes the per-key scratch (counts and offsets) for an n-key
+// probe. Both go through buf.Grow, which over-allocates 25% headroom —
+// the same policy as the factor-chunk scratch — so alternating
+// large/small probe batches (the executor's short final chunk,
+// shared-scan members with different tails) settle into a steady state
+// instead of reallocating on every size flip. Rows grows by append
+// from a length-0 reslice, which also preserves capacity.
+func (res *ProbeResult) grow(n int) {
+	res.Counts = buf.Grow(res.Counts, n)
+	res.Offsets = buf.Grow(res.Offsets, n+1)
+}
+
+// probeStage1Block is stage 1 of the batch probe over lanes [lo, hi):
+// hash each selected key, fetch its directory word, filter on the tag
+// (definitive misses record runs[i-lo] = 0), and for survivors record
+// the packed run bounds plus the first-key verdict — loading the run's
+// first key doubles as the software prefetch of the line stage 2
+// scans. runs is block-local (probeBlock lanes, indexed i-lo): one
+// block of run state lives only between a Stage1(b) and its Stage2(b).
+// Returns the selected-lane count (0 reported for nil sel; the caller
+// substitutes hi-lo totals) and the tag-miss count.
+func (t *Table) probeStage1Block(keys []int64, sel []bool, runs []uint64, lo, hi int) (probed, tagMiss int) {
+	dir, tkeys := t.dir, t.keys
+	if sel == nil {
+		for i := lo; i < hi; i++ {
+			key := keys[i]
+			h := Hash64(key)
+			b := h >> t.shift
+			w := dir[b]
+			if w&t.tag(h) == 0 {
+				tagMiss++
+				runs[i-lo] = 0
+				continue
+			}
+			start := w >> offShift
+			r := start<<33 | (dir[b+1]>>offShift)<<1
+			if tkeys[start] == key {
+				r |= 1
+			}
+			runs[i-lo] = r
+		}
+		return 0, tagMiss
+	}
+	for i := lo; i < hi; i++ {
+		if !sel[i] {
+			runs[i-lo] = 0
+			continue
+		}
+		probed++
+		key := keys[i]
+		h := Hash64(key)
+		b := h >> t.shift
+		w := dir[b]
+		if w&t.tag(h) == 0 {
+			tagMiss++
+			runs[i-lo] = 0
+			continue
+		}
+		start := w >> offShift
+		r := start<<33 | (dir[b+1]>>offShift)<<1
+		if tkeys[start] == key {
+			r |= 1
+		}
+		runs[i-lo] = r
+	}
+	return probed, tagMiss
+}
+
+// probeStage1FusedBlock is probeStage1Block with a bitvector filter
+// pass fused in: one key hash serves both the filter-word test and the
+// directory probe, and only filter survivors touch the directory at
+// all. pass[i] records the survivor mask (sel ∧ filter hit) — the
+// selection mask a separate filter link would have produced — so the
+// caller's counters split exactly like the unfused sequence: selCount
+// filter probes, of which filtered were pruned, and selCount-filtered
+// table probes with tagMiss directory-only answers. fbits/fshift are
+// the filter's raw geometry (bitvector.Filter shares Hash64, Bucket
+// and the width-6 Tag derivation, so the test is reproduced here
+// verbatim without an import cycle).
+func (t *Table) probeStage1FusedBlock(keys []int64, sel []bool, fbits []uint64, fshift uint,
+	pass []bool, runs []uint64, lo, hi int) (selCount, filtered, tagMiss int) {
+	dir, tkeys := t.dir, t.keys
+	for i := lo; i < hi; i++ {
+		if sel != nil && !sel[i] {
+			pass[i] = false
+			runs[i-lo] = 0
+			continue
+		}
+		selCount++
+		key := keys[i]
+		h := Hash64(key)
+		if fbits[h>>fshift]&Tag(h, fshift, 6) == 0 {
+			filtered++
+			pass[i] = false
+			runs[i-lo] = 0
+			continue
+		}
+		pass[i] = true
+		b := h >> t.shift
+		w := dir[b]
+		if w&t.tag(h) == 0 {
+			tagMiss++
+			runs[i-lo] = 0
+			continue
+		}
+		start := w >> offShift
+		r := start<<33 | (dir[b+1]>>offShift)<<1
+		if tkeys[start] == key {
+			r |= 1
+		}
+		runs[i-lo] = r
+	}
+	return selCount, filtered, tagMiss
+}
+
+// probeStage2Block is stage 2 over lanes [lo, hi): verify the runs
+// stage 1 recorded (block-local, indexed i-lo), gather match rows into
+// out, and write counts and offsets. Blocks must be verified in
+// ascending order — offsets chain through the shared output cursor.
+func (t *Table) probeStage2Block(keys []int64, runs []uint64, out []int32, counts, offsets []int32, lo, hi int) []int32 {
+	tkeys, trows := t.keys, t.rows
+	for i := lo; i < hi; i++ {
+		run := runs[i-lo]
+		before := int32(len(out))
+		if run != 0 {
+			key := keys[i]
+			start := run >> 33
+			if run&1 != 0 {
+				out = append(out, trows[start])
+			}
+			for e, end := start+1, run>>1&(1<<32-1); e < end; e++ {
+				if tkeys[e] == key {
+					out = append(out, trows[e])
+				}
+			}
+		}
+		counts[i] = int32(len(out)) - before
+		offsets[i+1] = int32(len(out))
+	}
+	return out
+}
+
+// probeDeltaBlock is the scalar versioned-table fallback for one block
+// of lanes, with the optional fused filter pass (nil fbits skips it).
+// It returns the updated output cursor plus the counters of both
+// halves: selCount selected lanes, filtered pruned by the filter,
+// tagHits among the appendDelta probes of the survivors.
+func (t *Table) probeDeltaBlock(keys []int64, sel []bool, fbits []uint64, fshift uint,
+	pass []bool, out []int32, counts, offsets []int32, lo, hi int) (_ []int32, selCount, filtered, tagHits int) {
+	for i := lo; i < hi; i++ {
+		if sel != nil && !sel[i] {
+			if pass != nil {
+				pass[i] = false
+			}
+			counts[i] = 0
+			offsets[i+1] = int32(len(out))
+			continue
+		}
+		selCount++
+		key := keys[i]
+		if fbits != nil {
+			h := Hash64(key)
+			if fbits[h>>fshift]&Tag(h, fshift, 6) == 0 {
+				filtered++
+				pass[i] = false
+				counts[i] = 0
+				offsets[i+1] = int32(len(out))
+				continue
+			}
+			pass[i] = true
+		}
+		before := int32(len(out))
+		var hit bool
+		out, hit = t.appendDelta(out, key)
+		if hit {
+			tagHits++
+		}
+		counts[i] = int32(len(out)) - before
+		offsets[i+1] = int32(len(out))
+	}
+	return out, selCount, filtered, tagHits
+}
+
+// ProbePipeline is one table's resumable batch probe. Begin binds the
+// inputs and result; the caller then drives Stage1(b)/Stage2(b) for
+// blocks b = 0..NumBlocks()-1 — Stage2(b) after Stage1(b) and before
+// this pipeline's next Stage1 (run state is one block deep), in
+// ascending block order, with any other pipeline's stages freely
+// interleaved in between — and End finalizes the result's counters.
+// The sequence Begin, {Stage1(b); Stage2(b)}, End is bit-identical to
+// ProbeBatchInto: both call the same block bodies. Versioned tables
+// with pending deltas fall back to the scalar probe inside Stage2
+// (their append sub-table walk has no prefetchable stage), with
+// identical counters.
+type ProbePipeline struct {
+	t    *Table
+	keys []int64
+	sel  []bool
+	res  *ProbeResult
+
+	// runs is the in-flight block's stage-1 state: packed run bounds
+	// plus the first-key verdict per lane (start<<33 | end<<1 | firstEq;
+	// 0 for skipped or tag-filtered lanes). One block deep by the
+	// scheduling contract, so it never scales with the probe width.
+	runs [probeBlock]uint64
+
+	// Fused filter pass (BeginFused): raw filter words and shift, plus
+	// the survivor mask written by stage 1.
+	fbits  []uint64
+	fshift uint
+	pass   []bool
+
+	delta    bool
+	probed   int // table probes issued (selected, and filter-passing when fused)
+	tagMiss  int // non-delta: stage-1 definitive misses
+	tagHit   int // delta: verified hits (the scalar probe counts hits)
+	selCount int // fused: filter probes issued (selected lanes)
+	filtered int // fused: filter prunes (lanes that never reach the table)
+}
+
+// Begin binds the pipeline to one probe: keys (with optional selection
+// mask sel) against t, into res. res's scratch is sized here; its
+// slices are reused across probes, so steady-state use allocates
+// nothing.
+func (p *ProbePipeline) Begin(t *Table, keys []int64, sel []bool, res *ProbeResult) {
+	p.begin(t, keys, sel, res)
+	p.fbits = nil
+	p.fshift = 0
+	p.pass = nil
+}
+
+// BeginFused is Begin with a bitvector filter pass fused into stage 1:
+// fbits/fshift are the filter's raw words and bucket shift
+// (bitvector.Filter.Words / WordShift), and pass — len(keys), caller-
+// owned — receives the survivor mask (sel ∧ filter hit). Counters
+// split exactly as if a separate Filter.ProbeContains pass had run
+// first: FilterProbed selected lanes probed the filter, Filtered of
+// them were pruned, and the result's Probed/TagHits/TagMisses cover
+// only the survivors.
+func (p *ProbePipeline) BeginFused(t *Table, keys []int64, sel []bool, res *ProbeResult,
+	fbits []uint64, fshift uint, pass []bool) {
+	p.begin(t, keys, sel, res)
+	p.fbits = fbits
+	p.fshift = fshift
+	p.pass = pass
+}
+
+func (p *ProbePipeline) begin(t *Table, keys []int64, sel []bool, res *ProbeResult) {
+	p.t = t
+	p.keys = keys
+	p.sel = sel
+	p.res = res
+	p.delta = t.hasDelta()
+	p.probed, p.tagMiss, p.tagHit = 0, 0, 0
+	p.selCount, p.filtered = 0, 0
+	res.grow(len(keys))
+	res.Rows = res.Rows[:0]
+	res.Offsets[0] = 0
+}
+
+// NumBlocks returns the number of ProbeBlock-lane blocks to drive.
+func (p *ProbePipeline) NumBlocks() int {
+	return (len(p.keys) + probeBlock - 1) / probeBlock
+}
+
+func (p *ProbePipeline) blockBounds(b int) (lo, hi int) {
+	lo = b * probeBlock
+	return lo, min(lo+probeBlock, len(p.keys))
+}
+
+// Stage1 hashes, tag-filters and prefetches block b. For a delta table
+// it is a no-op — the scalar fallback has no prefetchable first stage.
+func (p *ProbePipeline) Stage1(b int) {
+	if p.delta {
+		return
+	}
+	lo, hi := p.blockBounds(b)
+	if p.fbits != nil {
+		sc, fl, tm := p.t.probeStage1FusedBlock(p.keys, p.sel, p.fbits, p.fshift, p.pass, p.runs[:], lo, hi)
+		p.selCount += sc
+		p.filtered += fl
+		p.tagMiss += tm
+		return
+	}
+	pr, tm := p.t.probeStage1Block(p.keys, p.sel, p.runs[:], lo, hi)
+	p.probed += pr
+	p.tagMiss += tm
+}
+
+// Stage2 verifies block b's runs and gathers its matches. Blocks must
+// be driven in ascending order.
+func (p *ProbePipeline) Stage2(b int) {
+	lo, hi := p.blockBounds(b)
+	res := p.res
+	if p.delta {
+		var sc, fl, th int
+		res.Rows, sc, fl, th = p.t.probeDeltaBlock(p.keys, p.sel, p.fbits, p.fshift, p.pass,
+			res.Rows, res.Counts, res.Offsets, lo, hi)
+		p.selCount += sc
+		p.filtered += fl
+		p.tagHit += th
+		if p.fbits == nil {
+			p.probed += sc
+		}
+		return
+	}
+	res.Rows = p.t.probeStage2Block(p.keys, p.runs[:], res.Rows, res.Counts, res.Offsets, lo, hi)
+}
+
+// End finalizes the result counters. FilterProbed/Filtered remain
+// readable on the pipeline for the fused filter's accounting.
+func (p *ProbePipeline) End() {
+	res := p.res
+	switch {
+	case p.fbits != nil:
+		res.Probed = p.selCount - p.filtered
+		if p.delta {
+			res.TagHits = p.tagHit
+			res.TagMisses = res.Probed - p.tagHit
+		} else {
+			res.TagMisses = p.tagMiss
+			res.TagHits = res.Probed - p.tagMiss
+		}
+	case p.delta:
+		res.Probed = p.probed
+		res.TagHits = p.tagHit
+		res.TagMisses = p.probed - p.tagHit
+	default:
+		probed := p.probed
+		if p.sel == nil {
+			probed = len(p.keys)
+		}
+		res.Probed = probed
+		res.TagMisses = p.tagMiss
+		res.TagHits = probed - p.tagMiss
+	}
+}
+
+// FilterProbed returns the fused filter's probe count (selected lanes;
+// 0 for an unfused pipeline).
+func (p *ProbePipeline) FilterProbed() int { return p.selCount }
+
+// Filtered returns how many fused-filter probes were pruned before
+// reaching the table.
+func (p *ProbePipeline) Filtered() int { return p.filtered }
+
+// reduceLiveWord is one 64-row pipeline block of ReduceLive: stage 1
+// tag-filters word wi's set rows (clearing definitive misses and
+// prefetching surviving runs), stage 2 verifies the survivors.
+func (t *Table) reduceLiveWord(keyCol storage.Column, words []uint64, wi int) ProbeStats {
+	var st ProbeStats
+	w := words[wi]
+	if w == 0 {
+		return st
+	}
+	st.Probed = bits.OnesCount64(w)
+	base := wi << 6
+	var runs [64]uint64
+	for m := w; m != 0; m &= m - 1 {
+		tz := bits.TrailingZeros64(m)
+		key := keyCol[base+tz]
+		h := Hash64(key)
+		b := h >> t.shift
+		d := t.dir[b]
+		if d&t.tag(h) == 0 {
+			st.TagMisses++
+			w &^= 1 << uint(tz)
+			continue
+		}
+		st.TagHits++
+		start := d >> offShift
+		r := start<<33 | (t.dir[b+1]>>offShift)<<1
+		if t.keys[start] == key {
+			r |= 1
+		}
+		runs[tz] = r
+	}
+	for m := w; m != 0; m &= m - 1 {
+		tz := bits.TrailingZeros64(m)
+		run := runs[tz]
+		found := run&1 != 0
+		if !found {
+			key := keyCol[base+tz]
+			for e, end := run>>33+1, run>>1&(1<<32-1); !found && e < end; e++ {
+				found = t.keys[e] == key
+			}
+		}
+		if !found {
+			w &^= 1 << uint(tz)
+		}
+	}
+	words[wi] = w
+	return st
+}
+
+// ReduceLiveWords is ReduceLive addressed in mask words: it reduces
+// words [loWord, hiWord) of the live mask, one 64-row pipeline block
+// per word, and is the primitive behind the word-skewed interleaving
+// of sibling semi-join reductions — child k of a shared parent can
+// process word w while child k+1 processes word w-1, each probing
+// exactly the bits its predecessors left set in that word, so the
+// interleaved schedule is bit-identical to the sequential
+// child-after-child sweep. Delta tables fall back to the scalar
+// reduction over the same word range.
+func (t *Table) ReduceLiveWords(keyCol storage.Column, live *storage.Bitmap, loWord, hiWord int) ProbeStats {
+	if t.hasDelta() {
+		hiRow := hiWord << 6
+		if n := live.Len(); hiRow > n {
+			hiRow = n
+		}
+		return t.reduceLiveDelta(keyCol, live, loWord<<6, hiRow)
+	}
+	var st ProbeStats
+	words := live.Words()
+	if hiWord > len(words) {
+		hiWord = len(words)
+	}
+	for wi := loWord; wi < hiWord; wi++ {
+		st.add(t.reduceLiveWord(keyCol, words, wi))
+	}
+	return st
+}

@@ -1,0 +1,294 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSharedScanBitIdenticalToSolo: queries served through a shared
+// scan must carry Stats bit-identical to the same request on a
+// service with batching off — for every non-SJ strategy and mixed
+// output shapes, with the attach actually observed (Batch > 1).
+func TestSharedScanBitIdenticalToSolo(t *testing.T) {
+	ds := genDataset(t, 2500, 51)
+	ctx := context.Background()
+
+	soloSvc := New(Config{Parallelism: 8, MaxConcurrent: 8})
+	if _, err := soloSvc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{
+		Parallelism:   8,
+		MaxConcurrent: 8,
+		SharedScan:    SharedScanConfig{Enabled: true, AttachWindow: 200 * time.Millisecond, MaxBatch: 8},
+	})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []Request{
+		{Dataset: "ds", Strategy: "STD", FlatOutput: true},
+		{Dataset: "ds", Strategy: "COM"},
+		{Dataset: "ds", Strategy: "BVP+STD", FlatOutput: true, Parallelism: 2},
+		{Dataset: "ds", Strategy: "BVP+COM", Parallelism: 4},
+	}
+	want := make([]Result, len(reqs))
+	for i, req := range reqs {
+		res, err := soloSvc.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("solo %s: %v", req.Strategy, err)
+		}
+		if res.Batch != 0 {
+			t.Fatalf("solo service reported a shared scan: %+v", res)
+		}
+		if res.Stats.OutputTuples == 0 {
+			t.Fatalf("solo %s: degenerate test, no output", req.Strategy)
+		}
+		want[i] = res
+	}
+
+	// Fire all templates concurrently so they co-arrive inside the
+	// window; cache hit/miss counters legitimately differ between the
+	// two services' histories, so comparisons strip them.
+	var wg sync.WaitGroup
+	got := make([]Result, len(reqs))
+	gotErr := make([]error, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			got[i], gotErr[i] = svc.Query(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+	attached := 0
+	for i := range reqs {
+		if gotErr[i] != nil {
+			t.Fatalf("shared %s: %v", reqs[i].Strategy, gotErr[i])
+		}
+		if got[i].Batch > 1 {
+			attached++
+		}
+		if !reflect.DeepEqual(stripCache(got[i].Stats), stripCache(want[i].Stats)) {
+			t.Errorf("%s: shared-scan stats diverge from solo:\n got %+v\nwant %+v",
+				reqs[i].Strategy, got[i].Stats, want[i].Stats)
+		}
+	}
+	if attached == 0 {
+		t.Error("no query attached to a shared scan despite the 200ms window")
+	}
+	st := svc.Stats()
+	if st.SharedScanMembers == 0 || st.SharedScans == 0 {
+		t.Errorf("shared-scan counters not recorded: %+v", st)
+	}
+	if st.SharedScanMembers < st.SharedScans {
+		t.Errorf("members %d < passes %d", st.SharedScanMembers, st.SharedScans)
+	}
+}
+
+// TestSharedScanConcurrentMixedTraffic hammers a batching service with
+// concurrent clients cycling mixed request templates; every result
+// must equal the per-template reference from a batching-off service.
+// Run under -race in CI, this is the acceptance criterion's
+// concurrency half for the macro layer.
+func TestSharedScanConcurrentMixedTraffic(t *testing.T) {
+	ds := genDataset(t, 1500, 53)
+	ctx := context.Background()
+
+	soloSvc := New(Config{Parallelism: 8, MaxConcurrent: 8})
+	if _, err := soloSvc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{
+		Parallelism:   8,
+		MaxConcurrent: 8,
+		SharedScan:    SharedScanConfig{Enabled: true, AttachWindow: 2 * time.Millisecond, MaxBatch: 4},
+	})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+
+	templates := []Request{
+		{Dataset: "ds", Strategy: "STD", FlatOutput: true},
+		{Dataset: "ds", Strategy: "COM"},
+		{Dataset: "ds", Strategy: "BVP+COM", FlatOutput: true},
+		{Dataset: "ds", Strategy: "SJ+STD", FlatOutput: true}, // never attaches, must still be served
+		{Dataset: "ds", Strategy: "BVP+STD", Parallelism: 2},
+	}
+	want := make([]Result, len(templates))
+	for i, req := range templates {
+		res, err := soloSvc.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("reference %s: %v", req.Strategy, err)
+		}
+		want[i] = res
+	}
+
+	const clients = 8
+	const perClient = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				i := (c + q) % len(templates)
+				res, err := svc.Query(ctx, templates[i])
+				if err != nil {
+					errCh <- fmt.Errorf("client %d %s: %w", c, templates[i].Strategy, err)
+					return
+				}
+				if templates[i].Strategy == "SJ+STD" && res.Batch != 0 {
+					errCh <- fmt.Errorf("SJ query attached to a shared scan")
+					return
+				}
+				if !reflect.DeepEqual(stripCache(res.Stats), stripCache(want[i].Stats)) {
+					errCh <- fmt.Errorf("client %d %s: stats diverged under shared-scan traffic",
+						c, templates[i].Strategy)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestSharedScanMemberCancellation: cancelling one attached query
+// mid-pass must fail only that member (ClassCanceled) while its batch
+// siblings complete with solo-identical stats.
+func TestSharedScanMemberCancellation(t *testing.T) {
+	ds := genDataset(t, 20000, 55)
+	ctx := context.Background()
+
+	soloSvc := New(Config{Parallelism: 8, MaxConcurrent: 4})
+	if _, err := soloSvc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	survivor := Request{Dataset: "ds", Strategy: "COM", ChunkSize: 256}
+	want, err := soloSvc.Query(ctx, survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(Config{
+		Parallelism:   8,
+		MaxConcurrent: 4,
+		SharedScan:    SharedScanConfig{Enabled: true, AttachWindow: 300 * time.Millisecond, MaxBatch: 4},
+	})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the plan+artifact caches so the timed window below isn't
+	// eaten by cold planning.
+	if _, err := svc.Query(ctx, survivor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Query(ctx, Request{Dataset: "ds", Strategy: "STD", ChunkSize: 256, FlatOutput: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	victimCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	var victimRes, survRes Result
+	var victimErr, survErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		victimRes, victimErr = svc.Query(victimCtx,
+			Request{Dataset: "ds", Strategy: "STD", ChunkSize: 256, FlatOutput: true})
+	}()
+	go func() {
+		defer wg.Done()
+		survRes, survErr = svc.Query(ctx, survivor)
+	}()
+	// Let both queries attach, then cancel the victim mid-pass: the
+	// window is long enough that the cancel lands while the scan is
+	// either forming or running — both must leave the survivor intact.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	if victimErr == nil {
+		// The scan may already have finished the victim before the
+		// cancel landed; that's a timing miss, not a failure — but the
+		// survivor checks below still hold.
+		t.Logf("victim completed before cancellation: %+v", victimRes.Stats.OutputTuples)
+	} else {
+		var qe *QueryError
+		if !errors.As(victimErr, &qe) || qe.Class != ClassCanceled {
+			t.Errorf("victim err = %v, want ClassCanceled", victimErr)
+		}
+	}
+	if survErr != nil {
+		t.Fatalf("survivor failed: %v", survErr)
+	}
+	if !reflect.DeepEqual(stripCache(survRes.Stats), stripCache(want.Stats)) {
+		t.Errorf("survivor stats perturbed by sibling cancellation:\n got %+v\nwant %+v",
+			survRes.Stats, want.Stats)
+	}
+}
+
+// TestSharedScanAttachSemantics pins the window/batch bookkeeping: a
+// long window attaches co-arrived queries into one pass (equal Batch,
+// bounded AttachWait), MaxBatch seals a full group early, and version
+// skew (a Mutate between pins) splits groups.
+func TestSharedScanAttachSemantics(t *testing.T) {
+	ds := genDataset(t, 1200, 57)
+	ctx := context.Background()
+	svc := New(Config{
+		Parallelism:   8,
+		MaxConcurrent: 8,
+		SharedScan:    SharedScanConfig{Enabled: true, AttachWindow: 250 * time.Millisecond, MaxBatch: 2},
+	})
+	if _, err := svc.RegisterDataset("ds", ds); err != nil {
+		t.Fatal(err)
+	}
+	// Warm planning so attach timing is clean.
+	if _, err := svc.Query(ctx, Request{Dataset: "ds", Strategy: "STD"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// MaxBatch=2: three co-arrived queries must form a full pair (sealed
+	// early, well before the 250ms window) and a second group.
+	var wg sync.WaitGroup
+	results := make([]Result, 3)
+	errs := make([]error, 3)
+	start := time.Now()
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = svc.Query(ctx, Request{Dataset: "ds", Strategy: "STD"})
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sizes := map[int]int{}
+	for i, res := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		sizes[res.Batch]++
+		if res.Batch > 1 && res.AttachWait < 0 {
+			t.Errorf("negative attach wait %v", res.AttachWait)
+		}
+	}
+	if sizes[2] != 2 {
+		t.Errorf("expected one sealed pair among three co-arrived queries, got batch sizes %v", sizes)
+	}
+	// The pair sealed early; only the odd query out waits the full
+	// window. Two full windows would mean sealing never happened.
+	if elapsed > 450*time.Millisecond {
+		t.Errorf("queries took %v; MaxBatch did not seal the full group early", elapsed)
+	}
+}
