@@ -3,6 +3,11 @@
 // Zipf-skewed popularity distribution over a mixed-shape template set
 // (auto-planned, fixed-strategy, selection and SJ variants), then
 // report throughput, latency percentiles and artifact-cache hit rates.
+// At the end of a run it also reads the service's own query-latency
+// histogram (from the in-process telemetry registry, or by scraping
+// GET /metrics against -addr) and prints the server-side p50/p95/p99
+// beside the client-observed ones — the gap is client and transport
+// overhead.
 //
 // By default it builds an in-process service (no server needed — this
 // is the one-command way to see the executor under concurrent repeated
@@ -34,6 +39,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"m2mjoin/internal/service"
+	"m2mjoin/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +82,7 @@ func main() {
 		runner    service.Runner
 		templates []service.Request
 		statsFn   func() (service.Stats, error)
+		metricsFn func() ([]telemetry.Sample, error)
 		err       error
 	)
 	if *addr == "" {
@@ -89,11 +97,19 @@ func main() {
 		templates, err = service.StandardMix(svc, *rows, *seed)
 		runner = svc
 		statsFn = func() (service.Stats, error) { return svc.Stats(), nil }
+		metricsFn = func() ([]telemetry.Sample, error) {
+			var buf bytes.Buffer
+			if err := svc.Registry().WritePrometheus(&buf); err != nil {
+				return nil, err
+			}
+			return telemetry.ParseText(&buf)
+		}
 	} else {
 		h := service.NewHTTPRunner(*addr)
 		templates, err = remoteStandardMix(h, *rows, *seed)
 		runner = h
 		statsFn = func() (service.Stats, error) { return h.Stats(context.Background()) }
+		metricsFn = func() ([]telemetry.Sample, error) { return scrapeMetrics(*addr) }
 	}
 	if err != nil {
 		fatal(err)
@@ -123,6 +139,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(report)
+	// Fold the server-side latency histogram (the service's own
+	// m2m_query_duration_seconds, scraped from /metrics or read from the
+	// in-process registry) into the report next to the client-observed
+	// percentiles: the gap between the two is pure client/transport
+	// overhead — queueing in the HTTP stack, JSON, and the wire.
+	if samples, err := metricsFn(); err == nil {
+		qs, n := telemetry.HistogramQuantiles(samples,
+			"m2m_query_duration_seconds", []float64{0.5, 0.95, 0.99})
+		if n > 0 {
+			fmt.Printf("server latency (/metrics histogram, %d obs): p50≈%v p95≈%v p99≈%v\n",
+				n, qs[0].Round(time.Microsecond), qs[1].Round(time.Microsecond),
+				qs[2].Round(time.Microsecond))
+		}
+	}
 	if st, err := statsFn(); err == nil {
 		fmt.Printf("service: queries=%d cache entries=%d bytes=%d/%d evictions=%d\n",
 			st.Queries, st.Cache.Entries, st.Cache.Bytes, st.Cache.Limit, st.Cache.Evictions)
@@ -190,6 +220,20 @@ func mixMutateTargets(seed int64) ([]service.MutateTarget, error) {
 		out = append(out, service.MutateTargetsFor("load_"+shape, tree)...)
 	}
 	return out, nil
+}
+
+// scrapeMetrics pulls a remote server's /metrics exposition and parses
+// it into samples.
+func scrapeMetrics(addr string) ([]telemetry.Sample, error) {
+	resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return telemetry.ParseText(resp.Body)
 }
 
 func fatal(err error) {

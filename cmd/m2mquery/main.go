@@ -9,13 +9,16 @@
 //
 //	m2mquery [-shape star|path|snowflake32|snowflake51] [-rows N]
 //	         [-m lo,hi] [-fo lo,hi] [-seed N] [-compare] [-parallelism N]
-//	         [-cpuprofile file] [-memprofile file]
+//	         [-trace] [-cpuprofile file] [-memprofile file]
 //
 // With -compare, all six strategies are executed with the chosen order
 // and their counters printed side by side, including the tagged hash
 // table's TagHits/TagMisses split (probes answered by the directory
-// word alone vs probes that verified a bucket run). -cpuprofile and
-// -memprofile record pprof profiles of the run.
+// word alone vs probes that verified a bucket run). -trace prints the
+// execution's span tree — phase-1 builds, semi-join reductions, the
+// probe loop and the merge, with per-span durations — after the
+// counters. -cpuprofile and -memprofile record pprof profiles of the
+// run.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +37,7 @@ import (
 	"m2mjoin/internal/cost"
 	"m2mjoin/internal/exec"
 	"m2mjoin/internal/plan"
+	"m2mjoin/internal/telemetry"
 	"m2mjoin/internal/workload"
 )
 
@@ -45,6 +50,7 @@ func main() {
 	compare := flag.Bool("compare", false, "execute all six strategies and compare")
 	parallelism := flag.Int("parallelism", 1,
 		"probe workers (1 sequential, -1 all CPUs); results are identical at any setting")
+	trace := flag.Bool("trace", false, "print the execution's per-phase span tree")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -130,14 +136,26 @@ func main() {
 	fmt.Printf("predicted cost: %.1f weighted probes/driver tuple (%.0f total)\n",
 		choice.Predicted.Total, choice.Predicted.Total*float64(*rows))
 
+	var tr *telemetry.Trace
+	root := telemetry.NoParent
+	if *trace {
+		tr = telemetry.NewTrace(nil)
+		root = tr.Start("query", telemetry.NoParent)
+	}
 	start := time.Now()
 	stats, err := core.Execute(ds, choice, core.ExecuteOptions{
 		FlatOutput: true, Parallelism: *parallelism,
+		Trace: tr, TraceParent: root,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	printStats(choice.Strategy.String(), stats, time.Since(start))
+	if tr != nil {
+		tr.End(root)
+		fmt.Println("\ntrace:")
+		printTrace(tr.Finish())
+	}
 
 	if *compare {
 		fmt.Println("\nstrategy comparison (same join order):")
@@ -157,6 +175,28 @@ func main() {
 			printStats(s.String(), st, time.Since(start))
 		}
 	}
+}
+
+// printTrace renders the span tree with indentation, per-span start
+// offsets, durations and attributes.
+func printTrace(n *telemetry.SpanNode) {
+	n.Each(func(depth int, sp *telemetry.SpanNode) {
+		indent := strings.Repeat("  ", depth+1)
+		line := fmt.Sprintf("%s%-14s +%-10v %10v", indent, sp.Name,
+			time.Duration(sp.StartNanos).Round(time.Microsecond),
+			time.Duration(sp.DurationNanos).Round(time.Microsecond))
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf("  %s=%d", k, sp.Attrs[k])
+			}
+		}
+		fmt.Println(line)
+	})
 }
 
 func printStats(label string, s exec.Stats, elapsed time.Duration) {

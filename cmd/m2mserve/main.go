@@ -8,6 +8,7 @@
 //	         [-max-concurrent N] [-dataset name=dir]... [-preload]
 //	         [-drain-timeout 30s] [-shards N] [-backends url,url,...]
 //	         [-shard-retries N] [-shard-timeout 2s] [-hedge-delay 0]
+//	         [-slow-query-millis N] [-trace-ring N] [-pprof]
 //
 // With -shards > 1 the server answers each query by scatter-gather
 // over a hash partition of the dataset's driver relation, executing
@@ -41,7 +42,21 @@
 //	                    snapshot; running queries keep their admitted
 //	                    version, cached artifacts are repaired onto the
 //	                    new version's keys before it is published
-//	GET  /v1/stats      service + artifact-cache counters
+//	GET  /v1/stats      service + artifact-cache counters, uptime, Go
+//	                    version and a monotonic stats generation
+//	GET  /v1/trace      recent query traces, newest first (?n= caps)
+//	GET  /metrics       Prometheus text exposition of the telemetry
+//	                    registry
+//
+// Observability: -slow-query-millis N logs a structured JSON line
+// (with a per-phase span breakdown) for every query at or over N ms;
+// -trace-ring N sizes the /v1/trace ring AND traces every query into
+// it; clients get a span tree back by setting "trace":true on the
+// query. -pprof mounts net/http/pprof under /debug/pprof/ on the
+// serving mux — off by default, and meant for the same trusted
+// loopback deployments as the default -addr; it complements the batch
+// CLIs' -cpuprofile/-memprofile flags (m2mquery, m2mbench) for
+// profiling the serving path under live load.
 package main
 
 import (
@@ -52,6 +67,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers mounted only behind the -pprof flag
 	"os"
 	"os/signal"
 	"strings"
@@ -91,6 +107,12 @@ func main() {
 		"batch co-arrived compatible queries onto one shared driver scan")
 	attachWindow := flag.Duration("attach-window", 0,
 		"shared-scan attach window (0 = default 1ms)")
+	slowQueryMillis := flag.Int64("slow-query-millis", 0,
+		"log a structured slow-query line for queries at or over this end-to-end latency (0 = off)")
+	traceRing := flag.Int("trace-ring", 0,
+		"size of the /v1/trace recent-trace ring; setting it traces every query (0 = default size, request-opt-in tracing)")
+	pprofEnabled := flag.Bool("pprof", false,
+		"mount net/http/pprof under /debug/pprof/ on the serving address")
 	var datasets []string
 	flag.Func("dataset", "register a m2mdata directory as name=dir (repeatable)",
 		func(v string) error {
@@ -125,7 +147,12 @@ func main() {
 			Enabled:      *sharedScan,
 			AttachWindow: *attachWindow,
 		},
+		SlowQueryMillis: *slowQueryMillis,
+		TraceRing:       *traceRing,
 	})
+	if *slowQueryMillis > 0 {
+		log.Printf("m2mserve: slow-query log on (threshold %dms)", *slowQueryMillis)
+	}
 	if *sharedScan {
 		log.Printf("m2mserve: shared-scan batching on (window %v)",
 			cmp.Or(*attachWindow, service.DefaultAttachWindow))
@@ -156,7 +183,18 @@ func main() {
 			len(svc.Datasets()), len(templates))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	var handler http.Handler = service.NewHandler(svc)
+	if *pprofEnabled {
+		// The pprof handlers registered themselves on DefaultServeMux at
+		// import; mount that mux under /debug/ in front of the API so
+		// everything else still routes to the service handler.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+		log.Printf("m2mserve: pprof mounted at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	// SIGTERM/SIGINT begin a graceful drain instead of killing the
 	// process mid-query.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)

@@ -24,6 +24,7 @@ import (
 	"m2mjoin/internal/opt"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 	"m2mjoin/internal/workload"
 )
 
@@ -153,6 +154,11 @@ type ExecuteOptions struct {
 	// Version pins the dataset snapshot the query must run against
 	// (see exec.Options.Version); 0 skips the check.
 	Version uint64
+	// Trace optionally collects the execution's span tree under
+	// TraceParent (see exec.Options.Trace); nil disables tracing at
+	// zero cost.
+	Trace       *telemetry.Trace
+	TraceParent telemetry.SpanID
 }
 
 // ExecuteBatch runs several chosen plans against the same dataset
@@ -187,6 +193,8 @@ func execOptions(choice PlanChoice, opts ExecuteOptions) exec.Options {
 		DriverRowMap:  opts.DriverRowMap,
 		CollectOutput: opts.CollectOutput,
 		Version:       opts.Version,
+		Trace:         opts.Trace,
+		TraceParent:   opts.TraceParent,
 	}
 }
 

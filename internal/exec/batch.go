@@ -10,6 +10,7 @@ import (
 	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 )
 
 // This file is the shared-scan batch executor: several queries against
@@ -64,6 +65,7 @@ func RunBatch(ds *storage.Dataset, optsList []Options) ([]Stats, []error) {
 
 	for j, r := range members {
 		i := slots[j]
+		r.opts.Trace.End(r.execSpan)
 		if err := r.failure(); err != nil {
 			errs[i] = fmt.Errorf("exec: query failed: %w", err)
 			continue
@@ -136,8 +138,31 @@ func sameDriverMask(a, b *storage.Bitmap) bool {
 // behavior stay per-query.
 func executeShared(members []*run) {
 	lead := members[0]
+	// Per-member phase-2 and probe spans cover the member's share of
+	// the scan: the probe span is annotated with the batch size so a
+	// trace shows the query rode a shared scan. The span-ID slices are
+	// allocated only when a member actually carries a trace — the
+	// disabled path must stay allocation-identical to the untraced
+	// build.
+	traced := false
 	for _, r := range members {
+		if r.opts.Trace != nil {
+			traced = true
+			break
+		}
+	}
+	var phase2Spans, probeSpans []telemetry.SpanID
+	if traced {
+		phase2Spans = make([]telemetry.SpanID, len(members))
+		probeSpans = make([]telemetry.SpanID, len(members))
+	}
+	for m, r := range members {
 		r.prepareLayout()
+		if traced {
+			phase2Spans[m] = r.opts.Trace.Start("phase2", r.execSpan)
+			probeSpans[m] = r.opts.Trace.Start("probe", phase2Spans[m])
+			r.opts.Trace.Annotate(probeSpans[m], "shared", int64(len(members)))
+		}
 	}
 	var live []int32
 	n := lead.ds.Relation(plan.Root).NumRows()
@@ -203,6 +228,26 @@ func executeShared(members []*run) {
 			r.merge(ws[m])
 		}
 	}
+	// finishSpans closes every member's probe span, runs the worker
+	// fold under per-member merge spans, and closes phase 2.
+	finishSpans := func(merge func()) {
+		if !traced {
+			merge()
+			return
+		}
+		for m, r := range members {
+			r.opts.Trace.End(probeSpans[m])
+		}
+		mergeSpans := make([]telemetry.SpanID, len(members))
+		for m, r := range members {
+			mergeSpans[m] = r.opts.Trace.Start("merge", phase2Spans[m])
+		}
+		merge()
+		for m, r := range members {
+			r.opts.Trace.End(mergeSpans[m])
+			r.opts.Trace.End(phase2Spans[m])
+		}
+	}
 
 	if p <= 1 {
 		ws := newWorkers()
@@ -213,7 +258,7 @@ func executeShared(members []*run) {
 			}
 			runChunk(ws, i, &iota)
 		}
-		mergeWorkers(ws)
+		finishSpans(func() { mergeWorkers(ws) })
 		return
 	}
 
@@ -236,9 +281,11 @@ func executeShared(members []*run) {
 		}(slots[s])
 	}
 	wg.Wait()
-	for _, ws := range slots {
-		mergeWorkers(ws)
-	}
+	finishSpans(func() {
+		for _, ws := range slots {
+			mergeWorkers(ws)
+		}
+	})
 }
 
 // allDone reports whether every member has failed or been cancelled —

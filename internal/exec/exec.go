@@ -39,6 +39,7 @@ import (
 	"m2mjoin/internal/hashtable"
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 )
 
 // DefaultChunkSize matches the paper's initial chunk size.
@@ -146,6 +147,19 @@ type Options struct {
 	// the tuple order is nondeterministic. Intended for small
 	// verification queries.
 	CollectOutput func(rows []int32)
+	// Trace optionally collects this run's span tree: the executor
+	// opens spans under TraceParent at every phase boundary — the
+	// enclosing exec span, phase 1 with one span per relation build /
+	// filter build / semi-join reduction, and phase 2's probe chunk
+	// loop and merge. Spans are per phase, never per chunk, so tracing
+	// cost is O(relations), not O(rows). When nil (the default) every
+	// span call is a nil-receiver no-op — one pointer test, zero
+	// allocations — so the probe hot path's allocation-free invariants
+	// hold unchanged (pinned by the telemetry allocation tests).
+	Trace *telemetry.Trace
+	// TraceParent is the span the executor's exec span nests under
+	// (telemetry.NoParent for a root). Ignored when Trace is nil.
+	TraceParent telemetry.SpanID
 }
 
 // Artifacts supplies and receives phase-1 build artifacts, letting a
@@ -296,9 +310,12 @@ func Run(ds *storage.Dataset, opts Options) (Stats, error) {
 	}
 
 	r.guard("phase2", func() {
+		sp := r.opts.Trace.Start("phase2", r.execSpan)
 		r.prepareLayout()
-		r.execute()
+		r.execute(sp)
+		r.opts.Trace.End(sp)
 	})
+	r.opts.Trace.End(r.execSpan)
 	if err := r.failure(); err != nil {
 		return Stats{}, fmt.Errorf("exec: query failed: %w", err)
 	}
@@ -354,6 +371,7 @@ func prepare(ds *storage.Dataset, opts Options) (*run, error) {
 	}
 
 	r := &run{ds: ds, opts: opts, residuals: newResidualChecker(ds, opts.Residuals)}
+	r.execSpan = opts.Trace.Start("exec", opts.TraceParent)
 	r.perRel = make([]int64, ds.Tree.Len())
 	r.selMasks = selectionMasks(ds, opts.Selections)
 	r.baseMasks = effectiveMasks(ds, r.selMasks)
@@ -369,6 +387,7 @@ func prepare(ds *storage.Dataset, opts Options) (*run, error) {
 // converts failures and cancellation into Run's error contract.
 func (r *run) runPhase1() error {
 	var badStrategy error
+	r.phase1Span = r.opts.Trace.Start("phase1", r.execSpan)
 	r.guard("phase1", func() {
 		switch r.opts.Strategy {
 		case cost.STD, cost.COM:
@@ -382,6 +401,7 @@ func (r *run) runPhase1() error {
 			badStrategy = fmt.Errorf("exec: unknown strategy %v", r.opts.Strategy)
 		}
 	})
+	r.opts.Trace.End(r.phase1Span)
 	if badStrategy != nil {
 		return badStrategy
 	}
@@ -473,6 +493,12 @@ type run struct {
 	// collectMu serializes CollectOutput callbacks across workers.
 	collectMu     sync.Mutex
 	collectLocked bool
+
+	// execSpan / phase1Span are the enclosing trace spans (no-op ids
+	// when Options.Trace is nil). Written before any worker fan-out,
+	// read-only after.
+	execSpan   telemetry.SpanID
+	phase1Span telemetry.SpanID
 }
 
 // cancelled reports whether the run should stop working: the context
@@ -558,6 +584,9 @@ func (r *run) buildTables() {
 	arts := r.opts.Artifacts
 	stop := r.stopFn()
 	r.forEachNonRoot(func(id plan.NodeID) {
+		sp := r.opts.Trace.Start("build-relation", r.phase1Span)
+		r.opts.Trace.Annotate(sp, "rel", int64(id))
+		defer r.opts.Trace.End(sp)
 		if err := faultinject.Fire(faultinject.SiteBuildRelation); err != nil {
 			r.fail(err)
 			return
@@ -566,6 +595,7 @@ func (r *run) buildTables() {
 			if tbl := arts.Table(id); tbl != nil {
 				r.tables[id] = tbl
 				r.cacheHits.Add(1)
+				r.opts.Trace.Annotate(sp, "cached", 1)
 				return
 			}
 		}
@@ -614,6 +644,9 @@ func (r *run) buildFilters() {
 	per := r.perBuildParallelism()
 	arts := r.opts.Artifacts
 	r.forEachNonRoot(func(id plan.NodeID) {
+		sp := r.opts.Trace.Start("build-filter", r.phase1Span)
+		r.opts.Trace.Annotate(sp, "rel", int64(id))
+		defer r.opts.Trace.End(sp)
 		if r.opts.BitsPerKey != 0 {
 			// Explicit densities are not cache-keyed; always build.
 			r.filters[id] = bitvector.BuildFromColumnParallel(
@@ -624,6 +657,7 @@ func (r *run) buildFilters() {
 			if f := arts.Filter(id); f != nil {
 				r.filters[id] = f
 				r.cacheHits.Add(1)
+				r.opts.Trace.Annotate(sp, "cached", 1)
 				return
 			}
 		}
@@ -732,7 +766,7 @@ func (r *run) driverRows() []int32 {
 // driver mask the surviving rows are materialized once and chunked by
 // sub-slicing; without one, each worker fills a private iota buffer
 // per [lo, hi) range — no O(n) driver-row materialization.
-func (r *run) execute() {
+func (r *run) execute(parent telemetry.SpanID) {
 	var live []int32
 	n := r.ds.Relation(plan.Root).NumRows()
 	if r.driverLive != nil {
@@ -758,19 +792,31 @@ func (r *run) execute() {
 	if p > nChunks {
 		p = nChunks
 	}
+	// One probe span covers the whole chunk loop and one merge span the
+	// worker fold — per phase, never per chunk, so tracing cost does
+	// not scale with the driver.
+	probeSp := r.opts.Trace.Start("probe", parent)
+	r.opts.Trace.Annotate(probeSp, "chunks", int64(nChunks))
+	r.opts.Trace.Annotate(probeSp, "workers", int64(max(p, 1)))
 	if p <= 1 {
 		w := newWorker(r)
 		for i := 0; i < nChunks; i++ {
 			if r.cancelled() {
-				return
+				break
 			}
 			if err := faultinject.Fire(faultinject.SiteProbeChunk); err != nil {
 				r.fail(err)
-				return
+				break
 			}
 			runChunk(w, i)
 		}
+		r.opts.Trace.End(probeSp)
+		if r.cancelled() {
+			return
+		}
+		mergeSp := r.opts.Trace.Start("merge", parent)
 		r.merge(w)
+		r.opts.Trace.End(mergeSp)
 		return
 	}
 
@@ -799,9 +845,12 @@ func (r *run) execute() {
 		}(workers[wi])
 	}
 	wg.Wait()
+	r.opts.Trace.End(probeSp)
+	mergeSp := r.opts.Trace.Start("merge", parent)
 	for _, w := range workers {
 		r.merge(w)
 	}
+	r.opts.Trace.End(mergeSp)
 }
 
 // merge folds one worker's private counters into the run totals. All

@@ -40,6 +40,11 @@ func (r *run) semiJoinPass() {
 		if r.cancelled() {
 			return
 		}
+		// One span per parent covers its sibling reductions and the
+		// (reduced) hash-table build together — the unit of phase-1
+		// work for SJ strategies.
+		sp := r.opts.Trace.Start("semijoin", r.phase1Span)
+		r.opts.Trace.Annotate(sp, "rel", int64(p))
 		children := r.semiJoinOrder(p)
 		rel := r.ds.Relation(p)
 		// Start from the pushed-down selection mask, if any.
@@ -92,6 +97,7 @@ func (r *run) semiJoinPass() {
 			// never reset again and can be adopted as the driver mask.
 			r.driverLive = mask
 		}
+		r.opts.Trace.End(sp)
 	}
 }
 

@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"testing"
+
+	"m2mjoin/internal/cost"
+	"m2mjoin/internal/plan"
+	"m2mjoin/internal/telemetry"
+	"m2mjoin/internal/workload"
+)
+
+// TestTelemetryOverheadAllocations pins the tracing cost contract on
+// the executor hot path, in the style of
+// TestAllocationsChunkCountInvariant:
+//
+//   - disabled (nil *Trace — the default), tracing adds zero
+//     allocations, because every span site is a nil-receiver no-op;
+//   - enabled with a warm pooled arena, the overhead is a bounded
+//     constant (spans are recorded per relation and per phase, never
+//     per chunk), so allocations must not scale with chunk count.
+func TestTelemetryOverheadAllocations(t *testing.T) {
+	tr := plan.Snowflake(3, 2, plan.FixedStats(0.7, 2))
+	ds := workload.Generate(tr, workload.Config{DriverRows: 8000, Seed: 11})
+	order := plan.Order(tr.NonRoot())
+
+	measure := func(chunkSize int, trace *telemetry.Trace) float64 {
+		return testing.AllocsPerRun(3, func() {
+			opts := Options{Strategy: cost.COM, Order: order, FlatOutput: true, ChunkSize: chunkSize}
+			if trace != nil {
+				trace.Reset()
+				root := trace.Start("query", telemetry.NoParent)
+				opts.Trace, opts.TraceParent = trace, root
+			}
+			if _, err := Run(ds, opts); err != nil {
+				t.Fatal(err)
+			}
+			if trace != nil {
+				trace.Finish()
+			}
+		})
+	}
+
+	disabled := measure(256, nil)
+	arena := telemetry.NewTrace(nil)
+	// Warm the arena once so steady-state pooling is what gets measured,
+	// matching the service's sync.Pool reuse.
+	measure(4096, arena)
+	enabledFew := measure(4096, arena) // 2 chunks
+	enabledMany := measure(256, arena) // 32 chunks
+
+	// 16x the chunks must not move the traced allocation count: spans
+	// are per-phase/per-relation, never per chunk.
+	if enabledMany > enabledFew+40 || enabledMany > 2*enabledFew {
+		t.Errorf("traced allocations scale with chunk count: %.0f at 32 chunks vs %.0f at 2",
+			enabledMany, enabledFew)
+	}
+	// The whole traced overhead — span starts/ends plus materializing
+	// the tree in Finish — is a small constant per query.
+	if overhead := enabledMany - disabled; overhead > 300 {
+		t.Errorf("tracing adds %.0f allocs/query over the disabled path, want a bounded constant", overhead)
+	}
+}
+
+// TestExecTraceSpans pins the executor's span vocabulary: a traced run
+// records the phase-1 builds (one per non-root relation), the probe
+// loop with its chunk/worker attributes, the merge, and — under the SJ
+// strategies — the semi-join reduction, all nested under exec.
+func TestExecTraceSpans(t *testing.T) {
+	tree := plan.Snowflake(3, 2, plan.FixedStats(0.7, 2))
+	ds := workload.Generate(tree, workload.Config{DriverRows: 4000, Seed: 11})
+	order := plan.Order(tree.NonRoot())
+	nrel := tree.Len() - 1
+
+	for _, s := range []cost.Strategy{cost.COM, cost.BVPCOM, cost.SJCOM} {
+		arena := telemetry.NewTrace(nil)
+		root := arena.Start("query", telemetry.NoParent)
+		if _, err := Run(ds, Options{
+			Strategy: s, Order: order, FlatOutput: true, ChunkSize: 1024,
+			Trace: arena, TraceParent: root,
+		}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		arena.End(root)
+		node := arena.Finish()
+
+		execSpan := node.Find("exec")
+		if execSpan == nil {
+			t.Fatalf("%v: no exec span", s)
+		}
+		for _, name := range []string{"phase1", "phase2", "probe", "merge"} {
+			if execSpan.Find(name) == nil {
+				t.Errorf("%v: no %q span", s, name)
+			}
+		}
+		builds := 0
+		node.Each(func(_ int, n *telemetry.SpanNode) {
+			if n.Name == "build-relation" {
+				builds++
+			}
+		})
+		if s == cost.SJCOM {
+			// SJ phase 1 is per-parent semijoin spans (reduction plus the
+			// reduced build together); plain build-relation spans belong
+			// to the cacheable path only.
+			if builds != 0 {
+				t.Errorf("%v: %d build-relation spans on the SJ path, want 0", s, builds)
+			}
+			if node.Find("semijoin") == nil {
+				t.Errorf("%v: no semijoin span", s)
+			}
+		} else {
+			if builds != nrel {
+				t.Errorf("%v: %d build-relation spans, want one per non-root relation (%d)", s, builds, nrel)
+			}
+			if node.Find("semijoin") != nil {
+				t.Errorf("%v: unexpected semijoin span", s)
+			}
+		}
+		if s == cost.BVPCOM && node.Find("build-filter") == nil {
+			t.Errorf("%v: no build-filter spans", s)
+		}
+		probe := node.Find("probe")
+		if probe == nil || probe.Attrs["chunks"] <= 0 || probe.Attrs["workers"] <= 0 {
+			t.Errorf("%v: probe span missing chunk/worker attrs: %+v", s, probe)
+		}
+	}
+}

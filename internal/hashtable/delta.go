@@ -3,8 +3,10 @@ package hashtable
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 )
 
 // This file is the incremental-maintenance side of the tagged table:
@@ -106,6 +108,12 @@ func cloneBits(src []uint64, n int) []uint64 {
 // table. stop is the cooperative cancel hook; a true poll returns nil.
 func BuildVersioned(rel *storage.Relation, keyColumn string, baseRows int,
 	baseLive, live *storage.Bitmap, workers int, stop func() bool) *Table {
+	// Same telemetry contract as BuildParallelStop: one atomic load
+	// when no sink is armed.
+	if fn := telemetry.BuildHook(); fn != nil {
+		start := time.Now()
+		defer func() { fn(telemetry.BuildKindBuild, rel.NumRows(), time.Since(start)) }()
+	}
 	col := rel.Column(keyColumn)
 	n := len(col)
 	var mask *storage.Bitmap
@@ -228,6 +236,14 @@ func (t *Table) killApp(key int64, row int32) {
 // identical to BuildVersioned on the successor snapshot.
 func (t *Table) ApplyDelta(rel *storage.Relation, keyColumn string, d DeltaSpec,
 	workers int, stop func() bool) *Table {
+	// Repair timing flows to the telemetry sink when armed. The
+	// compaction fallback below goes through BuildVersioned, which
+	// reports its own "build" — such a repair appears as both, each
+	// measuring its own operation.
+	if fn := telemetry.BuildHook(); fn != nil {
+		start := time.Now()
+		defer func() { fn(telemetry.BuildKindRepair, rel.NumRows(), time.Since(start)) }()
+	}
 	col := rel.Column(keyColumn)
 	if d.Compacted || t.totalRows != d.AppendedFrom {
 		return BuildVersioned(rel, keyColumn, d.BaseRows, d.BaseLive, d.Live, workers, stop)

@@ -19,10 +19,12 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"m2mjoin/internal/buf"
 	"m2mjoin/internal/faultinject"
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 )
 
 // Hash64 is the key hash used by the hash table and by the bitvector
@@ -184,6 +186,12 @@ func BuildParallel(rel *storage.Relation, keyColumn string, live *storage.Bitmap
 // hook must be cheap and safe to call from multiple goroutines; a
 // completed build is bit-identical to BuildParallel's.
 func BuildParallelStop(rel *storage.Relation, keyColumn string, live *storage.Bitmap, workers int, stop func() bool) *Table {
+	// Build timing flows to the process-wide telemetry sink when one
+	// is armed; the disarmed path is a single atomic load.
+	if fn := telemetry.BuildHook(); fn != nil {
+		start := time.Now()
+		defer func() { fn(telemetry.BuildKindBuild, rel.NumRows(), time.Since(start)) }()
+	}
 	return buildColumn(rel.Column(keyColumn), live, workers, stop)
 }
 

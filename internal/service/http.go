@@ -21,6 +21,10 @@ import (
 //	POST /v1/mutate          commit a mutation batch as the dataset's
 //	                         next snapshot (MutateRequest -> MutateResult)
 //	GET  /v1/stats           service + cache counters
+//	GET  /v1/trace           recent query traces, newest first (?n=
+//	                         caps the count)
+//	GET  /metrics            the metrics registry in Prometheus text
+//	                         exposition format
 //
 // Request bodies and responses are JSON. Query execution is bounded by
 // the HTTP request context, so a disconnected client cancels its query
@@ -103,6 +107,22 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad trace count %q", q))
+				return
+			}
+			n = v
+		}
+		writeJSON(w, http.StatusOK, s.Traces(n))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Registry().WritePrometheus(w)
 	})
 	return mux
 }

@@ -1,0 +1,291 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"m2mjoin/internal/exec"
+	"m2mjoin/internal/telemetry"
+)
+
+// This file wires the service's counters into the telemetry registry
+// and implements the slow-query log. The wiring rule is: anything the
+// service already counts natively (the atomic counters behind
+// /v1/stats) is exposed as a CounterFunc/GaugeFunc shadow read at
+// scrape time, so the Prometheus exposition can never drift from
+// Stats — reconciliation is exact by construction, and a test pins it.
+// Only quantities /v1/stats does not carry — latency distributions and
+// the per-dataset executor-counter totals — get registry-owned
+// instruments, recorded once per query on the return path.
+
+// Metric family names. Exported through the exposition only; the
+// constants keep recording sites and tests in sync.
+const (
+	metricQueries        = "m2m_queries_total"
+	metricQueryErrors    = "m2m_query_errors_total"
+	metricQueryDuration  = "m2m_query_duration_seconds"
+	metricQueueWait      = "m2m_queue_wait_seconds"
+	metricAttachWait     = "m2m_attach_wait_seconds"
+	metricSharedScans    = "m2m_shared_scans_total"
+	metricSharedMembers  = "m2m_shared_scan_members_total"
+	metricMutations      = "m2m_mutations_total"
+	metricRepairs        = "m2m_repairs_total"
+	metricMutationCommit = "m2m_mutation_commit_seconds"
+	metricArtifactBuild  = "m2m_artifact_build_seconds"
+	metricScatterQueries = "m2m_scatter_queries_total"
+	metricDegraded       = "m2m_degraded_results_total"
+	metricShardRetries   = "m2m_shard_retries_total"
+	metricHedges         = "m2m_hedges_total"
+	metricHedgeWins      = "m2m_hedge_wins_total"
+	metricHedgeCancels   = "m2m_hedge_cancels_total"
+	metricShardDispatch  = "m2m_shard_dispatch_seconds"
+	metricCacheHits      = "m2m_cache_hits_total"
+	metricCacheMisses    = "m2m_cache_misses_total"
+	metricCacheEvictions = "m2m_cache_evictions_total"
+	metricCacheEntries   = "m2m_cache_entries"
+	metricCacheBytes     = "m2m_cache_bytes"
+	metricCacheLimit     = "m2m_cache_limit_bytes"
+	metricActive         = "m2m_active_queries"
+	metricQueued         = "m2m_queued_queries"
+	metricDraining       = "m2m_draining"
+	metricBreakerOpens   = "m2m_breaker_opens_total"
+	metricBreakerState   = "m2m_breaker_state"
+
+	metricExecHashProbes     = "m2m_exec_hash_probes_total"
+	metricExecFilterProbes   = "m2m_exec_filter_probes_total"
+	metricExecSemiJoinProbes = "m2m_exec_semijoin_probes_total"
+	metricExecOutputTuples   = "m2m_exec_output_tuples_total"
+	metricExecTagHits        = "m2m_exec_tag_hits_total"
+	metricExecTagMisses      = "m2m_exec_tag_misses_total"
+)
+
+// serviceMetrics owns the service's registry and the directly recorded
+// instruments (latency histograms and per-dataset executor counters);
+// everything else is a scrape-time shadow over the service's native
+// atomics.
+type serviceMetrics struct {
+	reg *telemetry.Registry
+
+	queueWait      *telemetry.Histogram
+	attachWait     *telemetry.Histogram
+	mutationCommit *telemetry.Histogram
+	buildHist      *telemetry.Histogram // m2m_artifact_build_seconds{kind="build"}
+	repairHist     *telemetry.Histogram // m2m_artifact_build_seconds{kind="repair"}
+}
+
+// datasetMetrics is one dataset's executor-counter series, created at
+// registration so the per-query record path is field adds, not map
+// lookups.
+type datasetMetrics struct {
+	hashProbes     *telemetry.Counter
+	filterProbes   *telemetry.Counter
+	semiJoinProbes *telemetry.Counter
+	outputTuples   *telemetry.Counter
+	tagHits        *telemetry.Counter
+	tagMisses      *telemetry.Counter
+}
+
+// newServiceMetrics builds the registry and registers every service-
+// wide shadow metric. Called once from New, after the Service's own
+// state exists.
+func newServiceMetrics(s *Service) *serviceMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serviceMetrics{reg: reg}
+
+	reg.CounterFunc(metricQueries, "Queries admitted for execution.", nil, s.queries.Load)
+	for _, ec := range []struct {
+		cls Class
+		fn  func() int64
+	}{
+		{ClassInvalid, s.errCounts.invalid.Load},
+		{ClassTimeout, s.errCounts.timeout.Load},
+		{ClassShed, s.errCounts.shed.Load},
+		{ClassCanceled, s.errCounts.canceled.Load},
+		{ClassInternal, s.errCounts.internal.Load},
+	} {
+		reg.CounterFunc(metricQueryErrors, "Failed queries by class.",
+			telemetry.Labels{{Name: "class", Value: string(ec.cls)}}, ec.fn)
+	}
+	reg.CounterFunc(metricSharedScans, "Executed shared-scan passes.", nil, s.sharedScans.Load)
+	reg.CounterFunc(metricSharedMembers, "Queries served through a shared scan.", nil, s.sharedMembers.Load)
+	reg.CounterFunc(metricMutations, "Committed mutation batches.", nil, s.mutations.Load)
+	reg.CounterFunc(metricRepairs, "Cached artifacts repaired onto a new version in place.", nil, s.repairs.Load)
+	reg.CounterFunc(metricScatterQueries, "Client queries answered by scatter-gather.", nil, s.scatterQueries.Load)
+	reg.CounterFunc(metricDegraded, "Degraded (partial-coverage) results returned.", nil, s.degraded.Load)
+	reg.CounterFunc(metricShardRetries, "Shard dispatch retries.", nil, s.shardRetries.Load)
+	reg.CounterFunc(metricHedges, "Hedged shard dispatches launched.", nil, s.hedges.Load)
+	reg.CounterFunc(metricHedgeWins, "Hedged dispatches that answered first.", nil, s.hedgeWins.Load)
+	reg.CounterFunc(metricHedgeCancels, "Hedges cancelled by the primary answering.", nil, s.hedgeCancels.Load)
+
+	reg.CounterFunc(metricCacheHits, "Artifact cache hits.", nil, func() int64 { return s.cache.stats().Hits })
+	reg.CounterFunc(metricCacheMisses, "Artifact cache misses.", nil, func() int64 { return s.cache.stats().Misses })
+	reg.CounterFunc(metricCacheEvictions, "Artifact cache evictions.", nil, func() int64 { return s.cache.stats().Evictions })
+	reg.GaugeFunc(metricCacheEntries, "Resident artifact cache entries.", nil, func() int64 { return int64(s.cache.stats().Entries) })
+	reg.GaugeFunc(metricCacheBytes, "Resident artifact cache bytes.", nil, func() int64 { return s.cache.stats().Bytes })
+	reg.GaugeFunc(metricCacheLimit, "Artifact cache byte budget.", nil, func() int64 { return s.cache.stats().Limit })
+
+	reg.GaugeFunc(metricActive, "Queries currently admitted.", nil, func() int64 { return int64(s.admit.activeCount()) })
+	reg.GaugeFunc(metricQueued, "Queries waiting for admission.", nil, func() int64 { return int64(s.admit.queuedCount()) })
+	reg.GaugeFunc(metricDraining, "1 while the service is draining.", nil, func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+
+	m.queueWait = reg.Histogram(metricQueueWait, "Admission queue wait per admitted query.", nil)
+	m.attachWait = reg.Histogram(metricAttachWait, "Shared-scan attach wait per member.", nil)
+	m.mutationCommit = reg.Histogram(metricMutationCommit, "Mutation commit latency, including artifact repair.", nil)
+	m.buildHist = reg.Histogram(metricArtifactBuild, "Hash-table build/repair latency by kind.",
+		telemetry.Labels{{Name: "kind", Value: telemetry.BuildKindBuild}})
+	m.repairHist = reg.Histogram(metricArtifactBuild, "Hash-table build/repair latency by kind.",
+		telemetry.Labels{{Name: "kind", Value: telemetry.BuildKindRepair}})
+	return m
+}
+
+// registerDataset adds one dataset's breaker shadow series and creates
+// its executor-counter series. Dataset names are unique per service,
+// so re-registration cannot occur.
+func (m *serviceMetrics) registerDataset(e *datasetEntry) {
+	name := e.name
+	lbl := telemetry.Labels{{Name: "dataset", Value: name}}
+	m.reg.CounterFunc(metricBreakerOpens, "Circuit breaker closed-to-open transitions by dataset.", lbl,
+		func() int64 { return e.breaker.snapshot(name).Opens })
+	m.reg.GaugeFunc(metricBreakerState, "Circuit breaker state by dataset (0 closed, 1 half-open, 2 open).", lbl,
+		func() int64 { return breakerStateValue(e.breaker.snapshot(name).State) })
+	e.met = &datasetMetrics{
+		hashProbes:     m.reg.Counter(metricExecHashProbes, "Executor hash-table probes by dataset.", lbl),
+		filterProbes:   m.reg.Counter(metricExecFilterProbes, "Executor bitvector-filter probes by dataset.", lbl),
+		semiJoinProbes: m.reg.Counter(metricExecSemiJoinProbes, "Executor semi-join probes by dataset.", lbl),
+		outputTuples:   m.reg.Counter(metricExecOutputTuples, "Result tuples produced by dataset.", lbl),
+		tagHits:        m.reg.Counter(metricExecTagHits, "Bloom-tag directory hits by dataset.", lbl),
+		tagMisses:      m.reg.Counter(metricExecTagMisses, "Bloom-tag directory misses by dataset.", lbl),
+	}
+}
+
+func breakerStateValue(st BreakerState) int64 {
+	switch st {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	}
+	return 0
+}
+
+// recordQuery records one finished Query call: the end-to-end latency
+// histogram (class "ok" on success, the failure class otherwise), and
+// — on success — the executor counters folded into the dataset's
+// series from the very Stats the caller receives, so the registry
+// totals reconcile exactly with client-side sums.
+func (m *serviceMetrics) recordQuery(e *datasetEntry, dataset, strategy string, cls Class, total time.Duration, st *exec.Stats) {
+	class := "ok"
+	if cls != "" {
+		class = string(cls)
+	}
+	if strategy == "" {
+		strategy = "none"
+	}
+	m.reg.Histogram(metricQueryDuration, "End-to-end query latency (queueing included) by dataset, strategy and outcome class.",
+		telemetry.Labels{
+			{Name: "dataset", Value: dataset},
+			{Name: "strategy", Value: strategy},
+			{Name: "class", Value: class},
+		}).Observe(total)
+	if st == nil || e == nil || e.met == nil {
+		return
+	}
+	dm := e.met
+	dm.hashProbes.Add(st.HashProbes)
+	dm.filterProbes.Add(st.FilterProbes)
+	dm.semiJoinProbes.Add(st.SemiJoinProbes)
+	dm.outputTuples.Add(st.OutputTuples)
+	dm.tagHits.Add(st.TagHits)
+	dm.tagMisses.Add(st.TagMisses)
+}
+
+// observeDispatch records one shard dispatch attempt's latency under
+// its outcome ("ok" or the failure class).
+func (m *serviceMetrics) observeDispatch(outcome string, d time.Duration) {
+	m.reg.Histogram(metricShardDispatch, "Per-attempt shard dispatch latency by outcome.",
+		telemetry.Labels{{Name: "outcome", Value: outcome}}).Observe(d)
+}
+
+// observeBuild is the telemetry build hook's landing point: cold
+// hash-table builds and incremental delta repairs, timed inside
+// internal/hashtable.
+func (m *serviceMetrics) observeBuild(kind string, d time.Duration) {
+	if kind == telemetry.BuildKindRepair {
+		m.repairHist.Observe(d)
+		return
+	}
+	m.buildHist.Observe(d)
+}
+
+// slowQueryLog emits one structured JSON line per query whose
+// end-to-end latency reaches the threshold. The line carries the
+// query's identity, outcome and a per-phase breakdown aggregated from
+// its span tree — which is why enabling the slow-query log also turns
+// on tracing for every query.
+type slowQueryLog struct {
+	threshold time.Duration
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// slowQueryEntry is the slow-query log's line format.
+type slowQueryEntry struct {
+	Time     time.Time `json:"time"`
+	Dataset  string    `json:"dataset"`
+	Strategy string    `json:"strategy,omitempty"`
+	// Class is the failure class, empty on success.
+	Class        string  `json:"class,omitempty"`
+	TotalMillis  float64 `json:"totalMillis"`
+	QueuedMillis float64 `json:"queuedMillis"`
+	// PhaseMillis sums span durations by span name across the query's
+	// trace (the root "query" span excluded — TotalMillis covers it).
+	PhaseMillis map[string]float64 `json:"phaseMillis,omitempty"`
+}
+
+// log renders one trace record as a slow-query line.
+func (l *slowQueryLog) log(rec telemetry.TraceRecord) {
+	entry := slowQueryEntry{
+		Time:         rec.Time,
+		Dataset:      rec.Dataset,
+		Strategy:     rec.Strategy,
+		Class:        rec.Class,
+		TotalMillis:  rec.ElapsedMillis,
+		QueuedMillis: rec.QueuedMillis,
+		PhaseMillis:  phaseMillis(rec.Root),
+	}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}
+
+// phaseMillis aggregates a span tree into per-phase totals by span
+// name, skipping the root.
+func phaseMillis(root *telemetry.SpanNode) map[string]float64 {
+	if root == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	root.Each(func(depth int, n *telemetry.SpanNode) {
+		if depth == 0 {
+			return
+		}
+		out[n.Name] += float64(n.DurationNanos) / float64(time.Millisecond)
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -106,6 +106,7 @@ func (s *Service) Mutate(ctx context.Context, req MutateRequest) (MutateResult, 
 		return MutateResult{}, classifyExecError(err)
 	}
 
+	mstart := s.now()
 	e.verMu.Lock()
 	defer e.verMu.Unlock()
 	cur := e.head.Load()
@@ -155,6 +156,10 @@ func (s *Service) Mutate(ctx context.Context, req MutateRequest) (MutateResult, 
 		s.cache.purge(func(k artifactKey) bool { return purged[k.dataset] })
 	}
 	s.mutations.Add(1)
+	// The commit histogram covers writer serialization, the storage
+	// commit, artifact repair and retention — the full write-path
+	// latency a client observes.
+	s.met.mutationCommit.Observe(s.now().Sub(mstart))
 
 	res := MutateResult{
 		Dataset:     req.Dataset,

@@ -39,7 +39,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -52,6 +54,7 @@ import (
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/shard"
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 	"m2mjoin/internal/workload"
 )
 
@@ -88,6 +91,19 @@ type Config struct {
 	// compatible queries (see SharedScanConfig; the zero value leaves
 	// it off).
 	SharedScan SharedScanConfig
+	// SlowQueryMillis, when positive, enables the slow-query log: every
+	// query whose end-to-end latency (queueing included) reaches the
+	// threshold emits one structured JSON line with a per-phase span
+	// breakdown to SlowQueryLog. Enabling it traces every query.
+	SlowQueryMillis int64
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
+	// TraceRing sizes the recent-trace ring served at /v1/trace
+	// (default telemetry.DefaultRingSize). The ring holds the traces of
+	// queries that were traced at all — Request.Trace, the slow-query
+	// log, or an explicitly positive TraceRing, which turns tracing on
+	// for every query.
+	TraceRing int
 }
 
 // DefaultAdmitTimeout bounds admission queueing when
@@ -131,6 +147,20 @@ type Service struct {
 	// errCounts tallies failed queries by class, for /v1/stats and the
 	// drain report.
 	errCounts errorCounters
+
+	// met is the metrics registry wiring (see metrics.go); traces the
+	// bounded recent-trace ring behind /v1/trace; slowLog the slow-query
+	// log (nil when disabled). tracePool recycles span arenas so a
+	// traced query allocates no span storage in steady state.
+	met       *serviceMetrics
+	traces    *telemetry.Ring
+	slowLog   *slowQueryLog
+	tracePool sync.Pool
+
+	// started anchors Stats.UptimeMillis; statsGen numbers Stats
+	// snapshots monotonically.
+	started  time.Time
+	statsGen atomic.Int64
 
 	// now is the clock, injectable for deterministic breaker tests.
 	now func() time.Time
@@ -206,6 +236,10 @@ type datasetEntry struct {
 	// breaker is this dataset's load-shedding circuit breaker.
 	breaker *breaker
 
+	// met holds this dataset's executor-counter metric series, created
+	// at registration (see metrics.go).
+	met *datasetMetrics
+
 	// shardSets memoizes hash partitions by shard count, with their
 	// per-(shard, target) breakers (see shard.go). Each set is pinned
 	// to one version; Mutate advances live sets in lockstep with the
@@ -257,7 +291,7 @@ func New(cfg Config) *Service {
 	}
 	cfg.Shard = normalizeShardConfig(cfg.Shard)
 	cfg.SharedScan = normalizeSharedScan(cfg.SharedScan)
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		cache:    newArtifactCache(cfg.CacheBytes),
 		admit:    newAdmission(cfg.Parallelism, cfg.MaxConcurrent, cfg.MaxQueued, cfg.AdmitTimeout),
@@ -266,6 +300,80 @@ func New(cfg Config) *Service {
 		datasets: make(map[string]*datasetEntry),
 		now:      time.Now,
 	}
+	s.started = s.now()
+	s.traces = telemetry.NewRing(cfg.TraceRing)
+	s.met = newServiceMetrics(s)
+	if cfg.SlowQueryMillis > 0 {
+		w := cfg.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		s.slowLog = &slowQueryLog{
+			threshold: time.Duration(cfg.SlowQueryMillis) * time.Millisecond,
+			w:         w,
+		}
+	}
+	// Arm the process-wide build timing hook onto this service's
+	// registry. The hook is global (last service wins, see
+	// telemetry.SetBuildHook); in any real process there is one Service.
+	met := s.met
+	telemetry.SetBuildHook(func(kind string, rows int, d time.Duration) {
+		met.observeBuild(kind, d)
+	})
+	return s
+}
+
+// Registry exposes the service's metrics registry — cmd/m2mserve
+// serves it at GET /metrics and in-process embedders (m2mload's
+// in-process mode) scrape it directly.
+func (s *Service) Registry() *telemetry.Registry { return s.met.reg }
+
+// Traces returns up to limit recent trace records, newest first
+// (limit <= 0 returns the whole ring) — the body of GET /v1/trace.
+func (s *Service) Traces(limit int) []telemetry.TraceRecord {
+	return s.traces.Snapshot(limit)
+}
+
+// acquireTrace recycles a span arena from the pool (or makes one on
+// the service clock).
+func (s *Service) acquireTrace() *telemetry.Trace {
+	if v := s.tracePool.Get(); v != nil {
+		tr := v.(*telemetry.Trace)
+		tr.Reset()
+		return tr
+	}
+	return telemetry.NewTrace(s.now)
+}
+
+// finishTrace closes the root span, materializes the span tree, files
+// it in the recent-trace ring (and the slow-query log when the query
+// crossed the threshold), attaches it to the result when the request
+// asked, and recycles the arena.
+func (s *Service) finishTrace(tr *telemetry.Trace, root telemetry.SpanID, req Request, res *Result, cls Class, qstart time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.End(root)
+	node := tr.Finish()
+	total := s.now().Sub(qstart)
+	rec := telemetry.TraceRecord{
+		Time:          qstart,
+		Dataset:       req.Dataset,
+		Strategy:      res.Strategy,
+		Class:         string(cls),
+		ElapsedMillis: float64(total) / float64(time.Millisecond),
+		QueuedMillis:  float64(res.Queued) / float64(time.Millisecond),
+		Root:          node,
+	}
+	if s.slowLog != nil && total >= s.slowLog.threshold {
+		rec.Slow = true
+		s.slowLog.log(rec)
+	}
+	s.traces.Add(rec)
+	if req.Trace {
+		res.Trace = node
+	}
+	s.tracePool.Put(tr)
 }
 
 // DatasetInfo describes one catalog entry.
@@ -317,6 +425,7 @@ func (s *Service) RegisterDataset(name string, ds *storage.Dataset) (DatasetInfo
 		return DatasetInfo{}, fmt.Errorf("service: dataset %q already registered", name)
 	}
 	s.datasets[name] = e
+	s.met.registerDataset(e)
 	return s.infoLocked(e), nil
 }
 
@@ -439,6 +548,13 @@ type Request struct {
 	// with Stats.Coverage < 1 and Stats.FailedShards naming the gaps.
 	// 0 (the default) requires full coverage.
 	MinCoverage float64 `json:"minCoverage,omitempty"`
+	// Trace requests a per-phase span tree on the result
+	// (Result.Trace): admission queueing, phase-1 builds, semi-join
+	// reduction, shard dispatches, the probe loop and the merge, each
+	// with wall-clock offsets and durations. Queries that do not ask
+	// carry a nil trace collector through the whole stack — the
+	// disabled path costs one pointer test per span site.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Result is one query's outcome.
@@ -476,6 +592,10 @@ type Result struct {
 	// Stats are the executor counters, including CacheHits /
 	// CacheMisses / BytesCached for the artifact cache.
 	Stats exec.Stats `json:"stats"`
+	// Trace is the query's span tree, present when Request.Trace was
+	// set (and on every query when the slow-query log or ring tracing
+	// is enabled).
+	Trace *telemetry.SpanNode `json:"trace,omitempty"`
 }
 
 // Query plans (memoized per dataset) and executes one query under
@@ -491,6 +611,20 @@ type Result struct {
 // process. The deferred release and the recover boundary together
 // guarantee a failed query cannot leak its admission slot.
 func (s *Service) Query(ctx context.Context, req Request) (res Result, err error) {
+	qstart := s.now()
+	// The trace collector exists only when someone will read it — the
+	// request asked, the slow-query log needs phase breakdowns, or the
+	// operator turned ring tracing on. Untraced queries carry a nil
+	// *Trace through the whole stack (every span site is a nil-receiver
+	// no-op).
+	var tr *telemetry.Trace
+	root := telemetry.NoParent
+	if req.Trace || s.slowLog != nil || s.cfg.TraceRing > 0 {
+		tr = s.acquireTrace()
+		root = tr.Start("query", telemetry.NoParent)
+	}
+	var entry *datasetEntry
+	strategy := ""
 	defer func() {
 		// Last line of defense: a panic between admission and release
 		// (outside the executor's own guards) becomes a classified
@@ -499,9 +633,20 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 			err = &QueryError{Class: ClassInternal,
 				Err: fmt.Errorf("query panic: %v", v)}
 		}
+		cls := Classify(err)
 		if err != nil {
-			s.errCounts.record(Classify(err))
+			s.errCounts.record(cls)
 		}
+		// One latency observation (and, on success, the executor
+		// counters) per Query call — taken from the very Result/error
+		// the caller receives, so registry totals reconcile exactly
+		// with /v1/stats and client-side sums.
+		var st *exec.Stats
+		if err == nil {
+			st = &res.Stats
+		}
+		s.met.recordQuery(entry, req.Dataset, strategy, cls, s.now().Sub(qstart), st)
+		s.finishTrace(tr, root, req, &res, cls, qstart)
 	}()
 	if ctx == nil {
 		ctx = context.Background()
@@ -515,6 +660,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	if e == nil {
 		return Result{}, invalidErr(fmt.Errorf("unknown dataset %q", req.Dataset))
 	}
+	entry = e
 	sels, err := e.resolveSelections(req.Selections)
 	if err != nil {
 		return Result{}, invalidErr(err)
@@ -532,10 +678,13 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	// measures edge statistics and runs the optimizer search, which
 	// uses no executor workers — holding an admission slot through it
 	// would head-of-line-block warm queries behind cold-start planning.
+	psp := tr.Start("plan", root)
 	choice, err := e.plan(req.Strategy, req.FlatOutput)
+	tr.End(psp)
 	if err != nil {
 		return Result{}, invalidErr(err)
 	}
+	strategy = choice.Strategy.String()
 
 	// The per-query deadline covers queueing and execution both: a
 	// query that burned its budget waiting must not start executing.
@@ -557,13 +706,17 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 		e.breaker.done(Classify(err), res.Elapsed)
 	}()
 
-	enqueued := time.Now()
+	enqueued := s.now()
 	workers, release, err := s.admit.acquire(ctx)
 	if err != nil {
 		return Result{}, err
 	}
 	defer release()
-	queued := time.Since(enqueued)
+	queued := s.now().Sub(enqueued)
+	// The queue span is retroactive: only now is the wait known to be
+	// over (and to have been worth a span at all).
+	tr.AddSpan("queue", root, enqueued, enqueued.Add(queued))
+	s.met.queueWait.Observe(queued)
 	if s.draining.Load() {
 		return Result{}, shedErr(fmt.Errorf("service is draining"), jitter(time.Second))
 	}
@@ -577,7 +730,7 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 	// shard-worker requests (ShardCount > 0) fall through and execute
 	// their one shard locally like any other query.
 	if req.ShardCount == 0 && s.sharded() {
-		return s.queryScatter(ctx, e, req, choice, sels, workers, queued)
+		return s.queryScatter(ctx, e, req, choice, sels, workers, queued, tr, root)
 	}
 
 	// Pin the snapshot once: the query executes entirely against this
@@ -628,13 +781,15 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 			Artifacts:   arts,
 			Selections:  sels,
 			Version:     ver,
+			Trace:       tr,
+			TraceParent: root,
 		}
 		if res, ok, qerr := s.querySharedScan(e, req, choice, snap, ver, opts, queued); ok {
 			return res, qerr
 		}
 	}
 
-	start := time.Now()
+	start := s.now()
 	stats, err := core.Execute(execDS, choice, core.ExecuteOptions{
 		FlatOutput:   req.FlatOutput,
 		ChunkSize:    req.ChunkSize,
@@ -644,8 +799,10 @@ func (s *Service) Query(ctx context.Context, req Request) (res Result, err error
 		Selections:   sels,
 		DriverRowMap: rowMap,
 		Version:      ver,
+		Trace:        tr,
+		TraceParent:  root,
 	})
-	elapsed := time.Since(start)
+	elapsed := s.now().Sub(start)
 	if err != nil {
 		return Result{Elapsed: elapsed}, classifyExecError(err)
 	}
@@ -771,6 +928,14 @@ func (s *Service) artifactsFor(fp, ver uint64, e *datasetEntry, sels []exec.Sele
 type Stats struct {
 	Datasets int   `json:"datasets"`
 	Queries  int64 `json:"queries"`
+	// UptimeMillis is the time since the service was created.
+	UptimeMillis int64 `json:"uptimeMillis"`
+	// GoVersion is the runtime the process was built with.
+	GoVersion string `json:"goVersion"`
+	// StatsGeneration increments on every snapshot taken, so pollers
+	// can tell two identical-looking snapshots apart (and detect a
+	// restarted server by a generation going backwards).
+	StatsGeneration int64 `json:"statsGeneration"`
 	// Mutations counts committed Mutate calls; Repairs counts cached
 	// artifacts carried onto a new version in place instead of being
 	// rebuilt from scratch.
@@ -809,6 +974,9 @@ func (s *Service) Stats() Stats {
 	return Stats{
 		Datasets:          nds,
 		Queries:           s.queries.Load(),
+		UptimeMillis:      s.now().Sub(s.started).Milliseconds(),
+		GoVersion:         runtime.Version(),
+		StatsGeneration:   s.statsGen.Add(1),
 		Mutations:         s.mutations.Load(),
 		Repairs:           s.repairs.Load(),
 		SharedScans:       s.sharedScans.Load(),

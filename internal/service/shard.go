@@ -15,6 +15,7 @@ import (
 	"m2mjoin/internal/plan"
 	"m2mjoin/internal/shard"
 	"m2mjoin/internal/storage"
+	"m2mjoin/internal/telemetry"
 )
 
 // This file is the serving tier's fault-tolerant scatter-gather path.
@@ -235,6 +236,10 @@ type shardCall struct {
 	choice  core.PlanChoice
 	sels    []exec.Selection
 	workers int // per-shard worker budget
+	// tr/parent carry the query's trace into per-shard dispatch spans
+	// and the local executor (nil trace = untraced, as everywhere).
+	tr     *telemetry.Trace
+	parent telemetry.SpanID
 }
 
 // shardTarget is one member that can execute a shard probe: the local
@@ -272,6 +277,8 @@ func (localTarget) run(ctx context.Context, s *Service, c shardCall) (exec.Stats
 		Selections:   c.sels,
 		DriverRowMap: sh.RowMap,
 		Version:      c.set.version,
+		Trace:        c.tr,
+		TraceParent:  c.parent,
 	})
 	if err != nil {
 		return exec.Stats{}, classifyExecError(err)
@@ -414,13 +421,19 @@ func classSeverity(c Class) int {
 // gathers with retry/hedging/breakers per shard, and merges. Runs
 // inside Query's admission slot, dataset breaker and deadline.
 func (s *Service) queryScatter(ctx context.Context, e *datasetEntry, req Request,
-	choice core.PlanChoice, sels []exec.Selection, workers int, queued time.Duration) (Result, error) {
+	choice core.PlanChoice, sels []exec.Selection, workers int, queued time.Duration,
+	tr *telemetry.Trace, root telemetry.SpanID) (Result, error) {
 	set, err := e.shardSetFor(s, s.cfg.Shard.Shards)
 	if err != nil {
 		return Result{}, invalidErr(err)
 	}
 	n := len(set.shards)
 	s.scatterQueries.Add(1)
+	// The scatter span covers dispatch fan-out through the last shard's
+	// verdict; each attempt hangs its own shard-dispatch span under it.
+	ssp := tr.Start("scatter", root)
+	tr.Annotate(ssp, "shards", int64(n))
+	defer tr.End(ssp)
 	per := workers / n
 	if per < 1 {
 		per = 1
@@ -448,6 +461,7 @@ func (s *Service) queryScatter(ctx context.Context, e *datasetEntry, req Request
 			parts[k], errs[k] = s.runShard(sctx, shardCall{
 				e: e, set: set, k: k,
 				req: req, choice: choice, sels: sels, workers: per,
+				tr: tr, parent: ssp,
 			})
 			if errs[k] != nil && scancel != nil {
 				scancel()
@@ -595,6 +609,17 @@ func (s *Service) attemptShard(ctx context.Context, c shardCall, primary int) (e
 		cmu.Unlock()
 		go func() {
 			started := s.now()
+			// One span per dispatch attempt: retries and hedges each get
+			// their own, so a trace shows the whole race. Local targets
+			// hang their exec spans under it; HTTP targets do not
+			// propagate the trace over the wire (the backend's own ring
+			// has it).
+			sp := c.tr.Start("shard-dispatch", c.parent)
+			c.tr.Annotate(sp, "shard", int64(c.k))
+			c.tr.Annotate(sp, "target", int64(t))
+			if hedge {
+				c.tr.Annotate(sp, "hedge", 1)
+			}
 			var st exec.Stats
 			var err error
 			defer func() {
@@ -602,14 +627,23 @@ func (s *Service) attemptShard(ctx context.Context, c shardCall, primary int) (e
 					err = &QueryError{Class: ClassInternal,
 						Err: fmt.Errorf("shard %d dispatch to %s panicked: %v", c.k, s.targets[t].name(), v)}
 				}
-				brk.done(Classify(err), s.now().Sub(started))
+				d := s.now().Sub(started)
+				brk.done(Classify(err), d)
+				c.tr.End(sp)
+				oc := "ok"
+				if err != nil {
+					oc = string(Classify(err))
+				}
+				s.met.observeDispatch(oc, d)
 				ch <- outcome{st: st, err: err, hedge: hedge}
 			}()
 			if ferr := faultinject.Fire(faultinject.SiteShardDispatch); ferr != nil {
 				err = &QueryError{Class: ClassInternal, Err: ferr}
 				return
 			}
-			st, err = s.targets[t].run(actx, s, c)
+			cc := c
+			cc.parent = sp
+			st, err = s.targets[t].run(actx, s, cc)
 		}()
 	}
 

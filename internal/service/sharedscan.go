@@ -206,6 +206,11 @@ func (s *Service) querySharedScan(e *datasetEntry, req Request, choice core.Plan
 	}
 	s.sharedMembers.Add(1)
 	attachWait := g.started.Sub(g.members[slot].arrived)
+	// Retroactive attach-wait span: the gap between reaching the scan
+	// board and the shared pass starting. The exec spans under the same
+	// parent were recorded by RunBatch on the member's own trace.
+	opts.Trace.AddSpan("attach-wait", opts.TraceParent, g.members[slot].arrived, g.started)
+	s.met.attachWait.Observe(attachWait)
 	if err != nil {
 		return Result{Elapsed: g.elapsed}, true, classifyExecError(err)
 	}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Build timing hook: internal/hashtable cannot thread a per-query
+// trace through its build funnel without widening every signature, so
+// build/repair timings flow through one process-wide sink instead.
+// The contract is faultinject's disarmed path verbatim: when no sink
+// is installed the instrumented site pays one atomic load and
+// branches away — no allocation, no clock read.
+
+// Build kinds reported to the sink.
+const (
+	BuildKindBuild  = "build"  // cold/versioned hash-table column build
+	BuildKindRepair = "repair" // incremental delta repair of a cached table
+)
+
+// BuildTimingFunc receives one completed build or repair: the kind,
+// the number of rows in the built column, and the wall duration.
+// It may be called concurrently from phase-1 build goroutines.
+type BuildTimingFunc func(kind string, rows int, d time.Duration)
+
+var buildHook atomic.Pointer[BuildTimingFunc]
+
+// SetBuildHook installs the process-wide build timing sink (nil
+// disarms). Last caller wins: a process hosting several services
+// funnels all build timings to the most recently created one.
+func SetBuildHook(fn BuildTimingFunc) {
+	if fn == nil {
+		buildHook.Store(nil)
+		return
+	}
+	buildHook.Store(&fn)
+}
+
+// BuildHook returns the installed sink, or nil when disarmed. The
+// disarmed path is a single atomic load.
+func BuildHook() BuildTimingFunc {
+	p := buildHook.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
